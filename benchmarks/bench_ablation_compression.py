@@ -1,0 +1,87 @@
+"""Ablation — lossy upload compression vs meta-learning quality.
+
+Complementary to the T0 knob: quantizing or sparsifying uploads shrinks the
+uplink bill per aggregation.  We train FedML under full-precision, 8-bit
+quantized, and top-10% sparsified uploads, and report uplink bytes vs the
+achieved meta-loss and target adaptation — 8-bit quantization should be
+near-free in quality at ~8× fewer bytes, aggressive sparsification costs
+accuracy.
+"""
+
+import numpy as np
+
+from repro.core import FedML, FedMLConfig, evaluate_adaptation
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.federated import CompressedPlatform, TopKSparsifier, UniformQuantizer
+from repro.metrics import format_table, target_splits
+from repro.nn import LogisticRegression
+
+from conftest import print_figure, run_once
+
+SCHEMES = {
+    "full precision": None,
+    "8-bit quantized": UniformQuantizer(bits=8),
+    "top-10% sparsified": TopKSparsifier(fraction=0.1),
+}
+
+
+def test_ablation_upload_compression(benchmark, scale):
+    model = LogisticRegression(60, 10)
+    fed = generate_synthetic(
+        SyntheticConfig(
+            alpha=0.5, beta=0.5, num_nodes=scale.synthetic_nodes,
+            mean_samples=25, seed=1,
+        )
+    )
+    sources, targets = fed.split_sources_targets(0.8, np.random.default_rng(0))
+
+    def experiment():
+        outcomes = {}
+        for name, compressor in SCHEMES.items():
+            platform = (
+                None if compressor is None else CompressedPlatform(compressor)
+            )
+            runner = FedML(
+                model,
+                FedMLConfig(
+                    alpha=0.05, beta=0.05, t0=5,
+                    total_iterations=scale.total_iterations, k=5,
+                    eval_every=10**9, seed=0,
+                ),
+                platform=platform,
+            )
+            run = runner.fit(fed, sources)
+            splits = target_splits(fed, targets, k=5)
+            curve = evaluate_adaptation(
+                model, run.params, splits, alpha=0.05, max_steps=3
+            )
+            outcomes[name] = {
+                "uplink": run.platform.comm_log.uplink_bytes,
+                "loss": runner.global_meta_loss(run.params, run.nodes),
+                "adapt_acc": curve.accuracies[3],
+            }
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    table = format_table(
+        ["Upload scheme", "uplink MB", "meta-loss", "target acc @3 steps"],
+        [
+            [name, o["uplink"] / 1e6, o["loss"], o["adapt_acc"]]
+            for name, o in outcomes.items()
+        ],
+    )
+    print_figure(
+        f"Ablation — upload compression vs quality ({scale.label})", table
+    )
+
+    full = outcomes["full precision"]
+    quant = outcomes["8-bit quantized"]
+    sparse = outcomes["top-10% sparsified"]
+    # Quantization: big byte saving, negligible quality loss.
+    assert quant["uplink"] < full["uplink"] / 4
+    assert quant["loss"] < full["loss"] * 1.15
+    assert quant["adapt_acc"] > full["adapt_acc"] - 0.05
+    # Sparsification saves bytes too but visibly degrades training.
+    assert sparse["uplink"] < full["uplink"]
+    assert sparse["loss"] >= quant["loss"]

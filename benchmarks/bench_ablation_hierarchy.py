@@ -1,0 +1,77 @@
+"""Ablation — hierarchical (edge→gateway→cloud) aggregation.
+
+Gateways aggregate their local group over the cheap LAN; only gateway
+summaries cross the WAN.  The aggregation math is identical (weighted mean
+of weighted means), so accuracy must match the flat platform exactly while
+WAN traffic drops by the fan-in factor.
+"""
+
+import numpy as np
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.federated import GatewayAssignment, HierarchicalPlatform, Platform
+from repro.metrics import format_table
+from repro.nn import LogisticRegression
+from repro.nn.parameters import to_vector
+
+from conftest import print_figure, run_once
+
+GATEWAY_COUNTS = [1, 3, 6]
+
+
+def test_ablation_hierarchical_aggregation(benchmark, scale):
+    model = LogisticRegression(60, 10)
+    fed = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=scale.synthetic_nodes, seed=1)
+    )
+    sources, _ = fed.split_sources_targets(0.8, np.random.default_rng(0))
+    cfg = FedMLConfig(
+        alpha=0.05, beta=0.05, t0=5,
+        total_iterations=scale.total_iterations // 2, k=5,
+        eval_every=10**9, seed=0,
+    )
+
+    def experiment():
+        flat_runner = FedML(model, cfg, platform=Platform())
+        flat = flat_runner.fit(fed, sources)
+        outcomes = {
+            "flat": {
+                "wan_mb": flat.platform.comm_log.uplink_bytes / 1e6,
+                "params": to_vector(flat.params),
+                "loss": flat_runner.global_meta_loss(flat.params, flat.nodes),
+            }
+        }
+        for gateways in GATEWAY_COUNTS:
+            assignment = GatewayAssignment.round_robin(sources, gateways)
+            runner = FedML(
+                model, cfg, platform=HierarchicalPlatform(assignment=assignment)
+            )
+            run = runner.fit(fed, sources)
+            outcomes[f"{gateways} gateways"] = {
+                "wan_mb": run.platform.comm_log.uplink_bytes / 1e6,
+                "params": to_vector(run.params),
+                "loss": runner.global_meta_loss(run.params, run.nodes),
+            }
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    table = format_table(
+        ["Topology", "WAN uplink MB", "final meta-loss"],
+        [[name, o["wan_mb"], o["loss"]] for name, o in outcomes.items()],
+    )
+    print_figure(
+        f"Ablation — hierarchical aggregation ({scale.label})", table
+    )
+
+    flat = outcomes["flat"]
+    for gateways in GATEWAY_COUNTS:
+        hier = outcomes[f"{gateways} gateways"]
+        # Identical learning outcome (weighted mean of weighted means).
+        np.testing.assert_allclose(
+            hier["params"], flat["params"], atol=1e-9
+        )
+        # WAN traffic scales with the gateway count, not the node count.
+        assert hier["wan_mb"] < flat["wan_mb"] * (gateways + 1) / len(sources)
+    assert outcomes["1 gateways"]["wan_mb"] < outcomes["6 gateways"]["wan_mb"]

@@ -1,0 +1,99 @@
+"""Ablation — learned inner rates (Meta-SGD) vs the fixed α of Algorithm 1.
+
+The paper fixes the inner rate α and its theory requires α below the
+Lemma-1 threshold.  Meta-SGD learns a per-parameter α jointly with the
+initialization.  At an equal iteration budget, learned rates should match
+or beat the fixed-α objective and the learned rates should spread away
+from their initialization (showing the extra degrees of freedom are used).
+"""
+
+import numpy as np
+
+from repro.core import (
+    FederatedMetaSGD,
+    FedML,
+    FedMLConfig,
+    MetaSGDConfig,
+    evaluate_adaptation,
+)
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.metrics import format_table, target_splits
+from repro.nn import LogisticRegression
+from repro.nn.parameters import to_vector
+
+from conftest import print_figure, run_once
+
+
+def test_ablation_meta_sgd_vs_fixed_alpha(benchmark, scale):
+    model = LogisticRegression(60, 10)
+    fed = generate_synthetic(
+        SyntheticConfig(
+            alpha=0.5, beta=0.5, num_nodes=scale.synthetic_nodes,
+            mean_samples=25, seed=1,
+        )
+    )
+    sources, targets = fed.split_sources_targets(0.8, np.random.default_rng(0))
+
+    def experiment():
+        iterations = max(200, scale.total_iterations)
+        fedml = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, t0=5, total_iterations=iterations,
+                k=5, eval_every=10**9, seed=0,
+            ),
+        ).fit(fed, sources)
+        meta_sgd = FederatedMetaSGD(
+            model,
+            MetaSGDConfig(
+                alpha_init=0.05, beta=0.05, t0=5, total_iterations=iterations,
+                k=5, eval_every=10**9, seed=0,
+            ),
+        ).fit(fed, sources)
+
+        fedml_runner = FedML(
+            model, FedMLConfig(alpha=0.05, beta=0.05, total_iterations=1, k=5)
+        )
+        fedml_loss = fedml_runner.global_meta_loss(fedml.params, fedml.nodes)
+        sgd_runner = FederatedMetaSGD(model, MetaSGDConfig())
+        meta_sgd_loss = sgd_runner.global_meta_loss(
+            {
+                **{f"theta::{n}": t for n, t in meta_sgd.params.items()},
+                **{f"logalpha::{n}": t for n, t in meta_sgd.log_alpha.items()},
+            },
+            meta_sgd.nodes,
+        )
+        rates = to_vector(meta_sgd.learned_rates())
+        splits = target_splits(fed, targets, k=5)
+        fedml_curve = evaluate_adaptation(
+            model, fedml.params, splits, alpha=0.05, max_steps=1
+        )
+        return {
+            "fedml_loss": fedml_loss,
+            "meta_sgd_loss": meta_sgd_loss,
+            "rate_min": float(rates.min()),
+            "rate_max": float(rates.max()),
+            "rate_mean": float(rates.mean()),
+            "fedml_acc1": fedml_curve.accuracies[1],
+        }
+
+    out = run_once(benchmark, experiment)
+
+    table = format_table(
+        ["Method", "source meta-loss G(θ)"],
+        [
+            ["FedML (fixed α=0.05)", out["fedml_loss"]],
+            ["Meta-SGD (learned α)", out["meta_sgd_loss"]],
+        ],
+    ) + "\n\nlearned rates: min {:.4f}, mean {:.4f}, max {:.4f}".format(
+        out["rate_min"], out["rate_mean"], out["rate_max"]
+    )
+    print_figure(
+        f"Ablation — Meta-SGD learned rates vs fixed α ({scale.label})", table
+    )
+
+    # Learned rates match or beat the fixed-α objective at equal budget.
+    assert out["meta_sgd_loss"] <= out["fedml_loss"] * 1.1
+    # The rate vector actually moved and stayed positive.
+    assert out["rate_min"] > 0
+    assert out["rate_max"] != out["rate_min"]

@@ -1,0 +1,103 @@
+"""Ablation — wall-clock round time under fleet heterogeneity & deadlines.
+
+The paper's premise is *real-time* edge intelligence; what edge deployments
+actually pay is wall-clock time dominated by stragglers.  Using the
+discrete-event fleet simulator we measure, for the FedML round shape
+(T0 local meta-steps, full-model upload):
+
+* how synchronous round time degrades with compute heterogeneity, and
+* how a round deadline trades participation for latency.
+"""
+
+import numpy as np
+
+from repro.federated import LinkModel, sample_fleet, simulate_synchronous_rounds
+from repro.metrics import format_table
+from repro.nn import LogisticRegression
+from repro.utils.serialization import payload_bytes
+
+from conftest import print_figure, run_once
+
+HETEROGENEITIES = [0.0, 0.5, 1.0]
+# Deadlines are set at quantiles of the fleet's actual per-round times, so
+# they bite regardless of the sampled speed distribution.
+DEADLINE_QUANTILES = [None, 0.9, 0.5]
+
+
+def test_ablation_straggler_timing(benchmark, scale):
+    model = LogisticRegression(60, 10)
+    upload = payload_bytes(model.init(np.random.default_rng(0)))
+    link = LinkModel()
+
+    def experiment():
+        results = {}
+        for het in HETEROGENEITIES:
+            fleet = sample_fleet(
+                scale.synthetic_nodes,
+                np.random.default_rng(1),
+                median_seconds_per_step=0.05,
+                heterogeneity=het,
+                link=link,
+            )
+            timeline = simulate_synchronous_rounds(
+                fleet, num_rounds=40, local_steps_per_round=5,
+                upload_bytes=upload,
+            )
+            results[("het", het)] = timeline
+        fleet = sample_fleet(
+            scale.synthetic_nodes,
+            np.random.default_rng(1),
+            median_seconds_per_step=0.05,
+            heterogeneity=1.0,
+            link=link,
+        )
+        per_device = [d.round_time(5, upload) for d in fleet]
+        for quantile in DEADLINE_QUANTILES:
+            deadline = (
+                None if quantile is None
+                else float(np.quantile(per_device, quantile))
+            )
+            timeline = simulate_synchronous_rounds(
+                fleet, num_rounds=40, local_steps_per_round=5,
+                upload_bytes=upload, deadline_s=deadline,
+            )
+            results[("deadline", quantile)] = timeline
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    het_rows = [
+        [het, results[("het", het)].mean_round_time]
+        for het in HETEROGENEITIES
+    ]
+    ddl_rows = [
+        [
+            "none" if q is None else f"p{int(q * 100)}",
+            results[("deadline", q)].mean_round_time,
+            results[("deadline", q)].participation_rate(scale.synthetic_nodes),
+        ]
+        for q in DEADLINE_QUANTILES
+    ]
+    body = (
+        format_table(["fleet heterogeneity σ", "mean round time (s)"], het_rows)
+        + "\n\n"
+        + format_table(
+            ["round deadline", "mean round time (s)", "participation"],
+            ddl_rows,
+        )
+    )
+    print_figure(
+        f"Ablation — stragglers and deadlines in synchronous rounds "
+        f"({scale.label})",
+        body,
+    )
+
+    # Heterogeneity inflates the synchronous round time.
+    times = [results[("het", het)].mean_round_time for het in HETEROGENEITIES]
+    assert times[0] < times[1] < times[2]
+    # Deadlines cut latency but cost participation.
+    no_ddl = results[("deadline", None)]
+    tight = results[("deadline", 0.5)]
+    assert tight.mean_round_time < no_ddl.mean_round_time
+    assert tight.participation_rate(scale.synthetic_nodes) < 1.0
+    assert no_ddl.participation_rate(scale.synthetic_nodes) == 1.0

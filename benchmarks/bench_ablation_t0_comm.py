@@ -1,0 +1,75 @@
+"""Ablation — the T0 communication/computation trade-off.
+
+The reason FedML allows T0 > 1 at all is systems cost: each aggregation
+charges every node an uplink+downlink of the full model.  This bench sweeps
+T0 at a fixed iteration budget and reports (a) total bytes moved, (b) the
+wall-clock communication time under the default LTE-like link model, and
+(c) the achieved meta-loss — making the trade-off of Theorem 2 concrete.
+"""
+
+import numpy as np
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.metrics import format_table
+from repro.nn import LogisticRegression
+
+from conftest import print_figure, run_once
+
+T0_VALUES = [1, 2, 5, 10, 25]
+
+
+def test_ablation_t0_communication_tradeoff(benchmark, scale):
+    model = LogisticRegression(60, 10)
+    fed = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=scale.synthetic_nodes, seed=1)
+    )
+    sources, _ = fed.split_sources_targets(0.8, np.random.default_rng(0))
+
+    def experiment():
+        outcomes = {}
+        for t0 in T0_VALUES:
+            cfg = FedMLConfig(
+                alpha=0.01, beta=0.05, t0=t0,
+                total_iterations=scale.total_iterations, k=5,
+                eval_every=10**9, seed=0,
+            )
+            run = FedML(model, cfg).fit(fed, sources)
+            final = run.global_meta_losses[-1] if run.global_meta_losses else None
+            loss = FedML(model, cfg).global_meta_loss(run.params, run.nodes)
+            outcomes[t0] = {
+                "loss": loss,
+                "bytes": run.platform.comm_log.total_bytes,
+                "time": run.platform.comm_log.total_time,
+                "rounds": run.platform.rounds_completed,
+            }
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    table = format_table(
+        ["T0", "aggregations", "total MB", "comm time (s)", "final G(θ)"],
+        [
+            [
+                t0,
+                o["rounds"],
+                o["bytes"] / 1e6,
+                o["time"],
+                o["loss"],
+            ]
+            for t0, o in outcomes.items()
+        ],
+    )
+    print_figure(
+        f"Ablation — T0 communication/computation trade-off ({scale.label})",
+        table,
+    )
+
+    # Bytes and communication time decrease monotonically with T0 …
+    byte_series = [outcomes[t0]["bytes"] for t0 in T0_VALUES]
+    assert all(b > a for a, b in zip(byte_series[1:], byte_series[:-1]))
+    time_series = [outcomes[t0]["time"] for t0 in T0_VALUES]
+    assert all(b > a for a, b in zip(time_series[1:], time_series[:-1]))
+    # … while the achieved loss is best at T0=1 (Corollary 1) and worst at
+    # the largest T0 (Theorem 2's h(T0) term).
+    assert outcomes[1]["loss"] <= outcomes[25]["loss"] + 1e-9

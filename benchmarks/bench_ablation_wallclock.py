@@ -1,0 +1,85 @@
+"""Ablation — the real-time view: loss vs *wall-clock seconds* per T0.
+
+Figure 2(b) fixes the iteration budget; a real deployment fixes a time
+budget.  Joining training histories with the fleet simulator shows the
+paper's actual trade-off: per aggregation, larger T0 buys more local
+iterations per second of (expensive) synchronous communication, so it wins
+at small time budgets — but Theorem 2's drift error means T0=1 ends lower
+if given unlimited time.
+"""
+
+import numpy as np
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.federated import LinkModel, sample_fleet
+from repro.metrics import format_table, loss_vs_wallclock
+from repro.nn import LogisticRegression
+from repro.utils.serialization import payload_bytes
+
+from conftest import print_figure, run_once
+
+T0_VALUES = [1, 5, 20]
+
+
+def test_ablation_loss_vs_wallclock(benchmark, scale):
+    model = LogisticRegression(60, 10)
+    fed = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=scale.synthetic_nodes, seed=1)
+    )
+    sources, _ = fed.split_sources_targets(0.8, np.random.default_rng(0))
+    upload = payload_bytes(model.init(np.random.default_rng(0)))
+    # A slow uplink makes the communication/computation trade-off bite.
+    link = LinkModel(
+        uplink_bytes_per_s=2.5e4, downlink_bytes_per_s=1e5, latency_s=0.2
+    )
+    fleet = sample_fleet(
+        len(sources), np.random.default_rng(1),
+        median_seconds_per_step=0.02, heterogeneity=0.5, link=link,
+    )
+
+    def experiment():
+        curves = {}
+        for t0 in T0_VALUES:
+            cfg = FedMLConfig(
+                alpha=0.01, beta=0.05, t0=t0,
+                total_iterations=scale.total_iterations, k=5,
+                eval_every=1, seed=0,
+            )
+            run = FedML(model, cfg).fit(fed, sources)
+            curves[t0] = loss_vs_wallclock(
+                run.history, t0=t0, fleet=fleet, upload_bytes=upload
+            )
+        return curves
+
+    curves = run_once(benchmark, experiment)
+
+    budgets = [30.0, 120.0, 600.0]
+    rows = []
+    for t0 in T0_VALUES:
+        curve = curves[t0]
+        rows.append(
+            [t0, curve.times[-1]]
+            + [curve.loss_at(b) if curve.loss_at(b) is not None else float("nan")
+               for b in budgets]
+        )
+    table = format_table(
+        ["T0", "total time (s)"] + [f"loss @{int(b)}s" for b in budgets],
+        rows,
+    )
+    print_figure(
+        f"Ablation — loss vs wall-clock time per T0 ({scale.label})", table
+    )
+
+    # The crossover: at a tight time budget a moderate T0 is ahead (fewer
+    # costly synchronous rounds per iteration) — the systems reason multiple
+    # local steps exist.  Over-large T0 is already drift-limited (Theorem 2),
+    # and T0=1 wins once time is unconstrained (Corollary 1).
+    tight = budgets[0]
+    loss_1 = curves[1].loss_at(tight)
+    loss_5 = curves[5].loss_at(tight)
+    assert loss_5 is not None
+    assert loss_1 is None or loss_5 < loss_1
+    finals = {t0: curves[t0].losses[-1] for t0 in T0_VALUES}
+    assert finals[1] <= finals[5] + 1e-9
+    assert finals[1] <= finals[20] + 1e-9

@@ -1,0 +1,86 @@
+"""Figure 3(d) — fast adaptation: FedML vs FedAvg on MNIST(-like).
+
+Paper setup: multinomial logistic regression, 100 nodes, 2 digits per node,
+power-law sizes.  The FedAvg consensus model fits the pooled digit data but
+is a poor few-shot initialization: after adaptation on K samples of a
+held-out node (which only has two digit classes), FedML reaches higher
+accuracy, with the gap largest at few adaptation steps.
+"""
+
+import numpy as np
+
+from repro.core import FedAvg, FedAvgConfig, FedML, FedMLConfig, evaluate_adaptation
+from repro.data import MnistLikeConfig, generate_mnist_like
+from repro.metrics import format_table, target_splits
+from repro.nn import LogisticRegression
+
+from conftest import print_figure, run_once
+
+
+def test_fig3d_adaptation_fedml_vs_fedavg_mnist(benchmark, scale):
+    model = LogisticRegression(64, 10)
+    fed = generate_mnist_like(
+        MnistLikeConfig(num_nodes=scale.mnist_nodes, seed=2)
+    )
+    sources, targets = fed.split_sources_targets(0.8, np.random.default_rng(0))
+
+    def experiment():
+        # Train both methods close to convergence — the FedAvg/FedML
+        # distinction is about the *converged* models, not transients.
+        iterations = max(1500, scale.total_iterations)
+        fedml = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.1, beta=0.1, t0=5, total_iterations=iterations,
+                k=5, eval_every=iterations, seed=0,
+            ),
+        ).fit(fed, sources)
+        fedavg = FedAvg(
+            model,
+            FedAvgConfig(
+                learning_rate=0.1, t0=5, total_iterations=iterations,
+                eval_every=iterations, seed=0,
+            ),
+        ).fit(fed, sources)
+        splits = target_splits(fed, targets, k=5)
+        return {
+            "FedML": evaluate_adaptation(
+                model, fedml.params, splits, alpha=0.1, max_steps=10
+            ),
+            "FedAvg": evaluate_adaptation(
+                model, fedavg.params, splits, alpha=0.1, max_steps=10
+            ),
+        }
+
+    curves = run_once(benchmark, experiment)
+
+    rows = []
+    for step in (0, 1, 2, 3, 5, 10):
+        rows.append(
+            [
+                step,
+                curves["FedML"].losses[step], curves["FedML"].accuracies[step],
+                curves["FedAvg"].losses[step], curves["FedAvg"].accuracies[step],
+            ]
+        )
+    table = format_table(
+        ["steps", "FedML loss", "FedML acc", "FedAvg loss", "FedAvg acc"], rows
+    )
+    print_figure(
+        f"Figure 3(d) — adaptation on MNIST-like, K=5 ({scale.label})", table
+    )
+
+    # Shape (see EXPERIMENTS.md): on globally label-consistent digit data
+    # the FedAvg consensus model is the better *zero-shot* predictor, but
+    # the meta-initialization overtakes it once adaptation begins and ends
+    # higher — the specialize-fast behaviour the paper attributes to FedML.
+    fedml, fedavg = curves["FedML"], curves["FedAvg"]
+    assert fedavg.accuracies[0] >= fedml.accuracies[0]
+    post_fedml = np.mean(fedml.accuracies[2:])
+    post_fedavg = np.mean(fedavg.accuracies[2:])
+    assert post_fedml > post_fedavg
+    # FedML gains more from adaptation than FedAvg does.
+    gain_fedml = fedml.accuracies[10] - fedml.accuracies[0]
+    gain_fedavg = fedavg.accuracies[10] - fedavg.accuracies[0]
+    assert gain_fedml > gain_fedavg
+    assert fedml.accuracies[10] > 0.9

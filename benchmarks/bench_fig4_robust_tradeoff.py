@@ -1,0 +1,94 @@
+"""Figure 4(a)–(d) — Robust FedML vs FedML: the robustness/accuracy trade-off.
+
+Paper setup (MNIST, T0=5): compare FedML with Robust FedML at
+λ ∈ {0.1, 1, 10}; evaluation adapts each initialization with *clean* target
+training data, then measures loss/accuracy on clean test data (4a, 4c) and
+on FGSM-perturbed test data (4b, 4d).  Expected shape: smaller λ (larger
+uncertainty set) is markedly better on adversarial data at a small cost on
+clean data; λ = 10's uncertainty set is too small to help.
+"""
+
+import numpy as np
+
+from repro.attacks import fgsm
+from repro.core import (
+    FedML,
+    FedMLConfig,
+    RobustFedML,
+    RobustFedMLConfig,
+)
+from repro.data import MnistLikeConfig, generate_mnist_like
+from repro.metrics import evaluate_robustness, format_table, target_splits
+from repro.nn import LogisticRegression
+
+from conftest import print_figure, run_once
+
+LAMBDAS = [0.1, 1.0, 10.0]
+XI = 0.1  # FGSM strength for the adversarial columns
+
+
+def test_fig4_robust_fedml_tradeoff(benchmark, scale):
+    model = LogisticRegression(64, 10)
+    fed = generate_mnist_like(MnistLikeConfig(num_nodes=scale.mnist_nodes, seed=2))
+    sources, targets = fed.split_sources_targets(0.8, np.random.default_rng(0))
+
+    def experiment():
+        iterations = max(300, scale.robust_iterations)
+        runs = {}
+        runs["FedML"] = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, t0=5, total_iterations=iterations,
+                k=5, eval_every=iterations, seed=0,
+            ),
+        ).fit(fed, sources).params
+        for lam in LAMBDAS:
+            runs[f"Robust λ={lam:g}"] = RobustFedML(
+                model,
+                RobustFedMLConfig(
+                    alpha=0.05, beta=0.05, t0=5, total_iterations=iterations,
+                    k=5, lam=lam, nu=1.0, ta=10, n0=7, r_max=2,
+                    eval_every=iterations, seed=0,
+                ),
+            ).fit(fed, sources).params
+
+        splits = target_splits(fed, targets, k=5)
+        reports = {}
+        for name, params in runs.items():
+            reports[name] = evaluate_robustness(
+                model, params, splits, alpha=0.05, adapt_steps=5,
+                attack=lambda m, p, x, y: fgsm(
+                    m, p, x, y, xi=XI, clip_range=(0.0, 1.0)
+                ),
+            )
+        return reports
+
+    reports = run_once(benchmark, experiment)
+
+    table = format_table(
+        ["Method", "clean loss", "clean acc", "adv loss", "adv acc"],
+        [
+            [name, r.clean_loss, r.clean_accuracy,
+             r.adversarial_loss, r.adversarial_accuracy]
+            for name, r in reports.items()
+        ],
+    )
+    print_figure(
+        f"Figure 4(a)-(d) — Robust FedML on MNIST-like, FGSM ξ={XI} "
+        f"({scale.label})",
+        table,
+    )
+
+    fedml = reports["FedML"]
+    strong = reports["Robust λ=0.1"]
+    mid = reports["Robust λ=1"]
+    weak = reports["Robust λ=10"]
+
+    # Robustness ordering: smaller λ defends better than plain FedML.
+    assert strong.adversarial_accuracy > fedml.adversarial_accuracy
+    assert mid.adversarial_accuracy > fedml.adversarial_accuracy
+    assert strong.adversarial_accuracy >= weak.adversarial_accuracy
+    # λ=10's uncertainty set is too small to make a big difference.
+    assert abs(weak.adversarial_accuracy - fedml.adversarial_accuracy) < 0.1
+    # Clean accuracy is not sacrificed by much.
+    assert strong.clean_accuracy > fedml.clean_accuracy - 0.05

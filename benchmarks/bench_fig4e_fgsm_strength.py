@@ -1,0 +1,82 @@
+"""Figure 4(e) — impact of the FGSM strength ξ.
+
+Paper: both FedML and Robust FedML degrade as ξ grows, and the improvement
+of Robust FedML over FedML is larger under stronger perturbations (until
+accuracy saturates toward chance).
+"""
+
+import numpy as np
+
+from repro.attacks import fgsm
+from repro.core import FedML, FedMLConfig, RobustFedML, RobustFedMLConfig
+from repro.data import MnistLikeConfig, generate_mnist_like
+from repro.metrics import evaluate_robustness, format_table, target_splits
+from repro.nn import LogisticRegression
+
+from conftest import print_figure, run_once
+
+XIS = [0.0, 0.05, 0.1, 0.15]
+LAM = 0.1
+
+
+def test_fig4e_improvement_vs_fgsm_strength(benchmark, scale):
+    model = LogisticRegression(64, 10)
+    fed = generate_mnist_like(MnistLikeConfig(num_nodes=scale.mnist_nodes, seed=2))
+    sources, targets = fed.split_sources_targets(0.8, np.random.default_rng(0))
+
+    def experiment():
+        iterations = max(300, scale.robust_iterations)
+        fedml = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, t0=5, total_iterations=iterations,
+                k=5, eval_every=iterations, seed=0,
+            ),
+        ).fit(fed, sources).params
+        robust = RobustFedML(
+            model,
+            RobustFedMLConfig(
+                alpha=0.05, beta=0.05, t0=5, total_iterations=iterations,
+                k=5, lam=LAM, nu=1.0, ta=10, n0=7, r_max=2,
+                eval_every=iterations, seed=0,
+            ),
+        ).fit(fed, sources).params
+
+        splits = target_splits(fed, targets, k=5)
+        rows = {}
+        for xi in XIS:
+            attack = lambda m, p, x, y, xi=xi: fgsm(
+                m, p, x, y, xi=xi, clip_range=(0.0, 1.0)
+            )
+            rows[xi] = (
+                evaluate_robustness(
+                    model, fedml, splits, alpha=0.05, adapt_steps=5,
+                    attack=attack,
+                ).adversarial_accuracy,
+                evaluate_robustness(
+                    model, robust, splits, alpha=0.05, adapt_steps=5,
+                    attack=attack,
+                ).adversarial_accuracy,
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = format_table(
+        ["ξ", "FedML acc", f"Robust (λ={LAM}) acc", "improvement"],
+        [[xi, f, r, r - f] for xi, (f, r) in rows.items()],
+    )
+    print_figure(
+        f"Figure 4(e) — accuracy vs FGSM strength ξ ({scale.label})", table
+    )
+
+    fedml_accs = [rows[xi][0] for xi in XIS]
+    robust_accs = [rows[xi][1] for xi in XIS]
+    # Both degrade monotonically with perturbation strength.
+    assert all(b <= a + 1e-9 for a, b in zip(fedml_accs, fedml_accs[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(robust_accs, robust_accs[1:]))
+    # Robust FedML's edge is bigger under perturbation than on clean data.
+    improvements = [rows[xi][1] - rows[xi][0] for xi in XIS]
+    assert max(improvements[1:]) > improvements[0]
+    # And Robust FedML defends strictly better at moderate ξ.
+    assert rows[0.1][1] > rows[0.1][0]

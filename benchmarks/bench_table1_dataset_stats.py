@@ -1,0 +1,65 @@
+"""Table I — dataset statistics (nodes, mean/stdev samples per node).
+
+Paper reports: Synthetic 50 nodes (17 ± 5), MNIST 100 nodes (34 ± 5),
+Sent140 706 nodes (42 ± 35).  We regenerate the three workloads and print
+the same columns; exact std depends on the power-law draw, but node counts
+and means must match the configuration.
+"""
+
+import numpy as np
+
+from repro.data import (
+    MnistLikeConfig,
+    Sent140LikeConfig,
+    SyntheticConfig,
+    generate_mnist_like,
+    generate_sent140_like,
+    generate_synthetic,
+)
+from repro.metrics import format_table
+
+from conftest import print_figure, run_once
+
+
+def test_table1_dataset_statistics(benchmark, scale):
+    def experiment():
+        datasets = [
+            generate_synthetic(
+                SyntheticConfig(
+                    alpha=0.5, beta=0.5, num_nodes=scale.synthetic_nodes, seed=0
+                )
+            ),
+            generate_mnist_like(
+                MnistLikeConfig(num_nodes=scale.mnist_nodes, seed=0)
+            ),
+            generate_sent140_like(
+                Sent140LikeConfig(num_nodes=scale.sent140_nodes, seed=0)
+            ),
+        ]
+        return [(fed.name, fed.statistics()) for fed in datasets]
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        ["Dataset", "Nodes", "Samples/node mean", "stdev"],
+        [
+            [name, int(stats["nodes"]), stats["samples_mean"], stats["samples_std"]]
+            for name, stats in rows
+        ],
+    )
+    print_figure(f"Table I — Statistics of Datasets ({scale.label})", table)
+
+    by_name = dict(rows)
+    synthetic = by_name[[n for n in by_name if n.startswith("Synthetic")][0]]
+    mnist = by_name["MNIST-like"]
+    sent140 = by_name["Sent140-like"]
+
+    assert synthetic["nodes"] == scale.synthetic_nodes
+    assert mnist["nodes"] == scale.mnist_nodes
+    assert sent140["nodes"] == scale.sent140_nodes
+    # Means should land near the paper's Table I values (17 / 34 / 42).
+    assert abs(synthetic["samples_mean"] - 17) < 6
+    assert abs(mnist["samples_mean"] - 34) < 12
+    assert abs(sent140["samples_mean"] - 42) < 14
+    # Power-law tails: stdev is a sizable fraction of the mean.
+    for stats in (synthetic, mnist, sent140):
+        assert stats["samples_std"] > 0.15 * stats["samples_mean"]

@@ -1,0 +1,85 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Every bench file regenerates one table or figure of the paper: it runs the
+relevant training/evaluation pipeline, prints the same rows/series the paper
+reports, and asserts the qualitative *shape* (who wins, monotonicities,
+crossovers).  pytest-benchmark wraps the run so wall-clock cost is recorded.
+
+Scale
+-----
+Default parameters are scaled down so the full bench suite runs in minutes.
+Set ``REPRO_PAPER_SCALE=1`` to use the paper's node counts and horizons
+(50/100/706 nodes, T=500); expect a long run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizes used by the benches."""
+
+    synthetic_nodes: int
+    mnist_nodes: int
+    sent140_nodes: int
+    total_iterations: int
+    sent140_iterations: int
+    robust_iterations: int
+    sent140_hidden: tuple
+    sent140_embed_dim: int
+
+    @property
+    def label(self) -> str:
+        return "paper-scale" if PAPER_SCALE else "scaled-down"
+
+
+def get_scale() -> BenchScale:
+    if PAPER_SCALE:
+        return BenchScale(
+            synthetic_nodes=50,
+            mnist_nodes=100,
+            sent140_nodes=706,
+            total_iterations=500,
+            sent140_iterations=200,
+            robust_iterations=500,
+            sent140_hidden=(256, 128, 64),
+            sent140_embed_dim=300,
+        )
+    return BenchScale(
+        synthetic_nodes=30,
+        mnist_nodes=30,
+        sent140_nodes=40,
+        total_iterations=200,
+        sent140_iterations=60,
+        robust_iterations=250,
+        sent140_hidden=(32, 16),
+        sent140_embed_dim=16,
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def split_rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_figure(title: str, body: str) -> None:
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Asynchronous FedML on a heterogeneous fleet — the real-time view.
+
+Synchronous federated rounds are paced by the slowest device.  This example
+builds a fleet with lognormal compute heterogeneity, trains FedML both
+synchronously and asynchronously (staleness-aware mixing), and compares the
+meta-loss reached per simulated wall-clock second — the metric a real-time
+edge deployment cares about.
+
+Run:  python examples/async_realtime.py
+"""
+
+import numpy as np
+
+from repro.core import AsyncFedML, AsyncFedMLConfig, FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.federated import LinkModel, sample_fleet, simulate_synchronous_rounds
+from repro.metrics import format_table, loss_vs_wallclock
+from repro.nn import LogisticRegression
+from repro.utils.serialization import payload_bytes
+
+
+def main() -> None:
+    federated = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=25, mean_samples=25, seed=1)
+    )
+    sources, _ = federated.split_sources_targets(0.8, np.random.default_rng(0))
+    model = LogisticRegression(input_dim=60, num_classes=10)
+    t0 = 5
+
+    link = LinkModel()
+    fleet = sample_fleet(
+        len(sources),
+        np.random.default_rng(1),
+        median_seconds_per_step=0.05,
+        heterogeneity=1.0,
+        link=link,
+    )
+    speeds = sorted(d.seconds_per_step for d in fleet)
+    print(
+        f"fleet of {len(fleet)} devices, seconds/step from "
+        f"{speeds[0]:.3f} to {speeds[-1]:.3f} "
+        f"({speeds[-1] / speeds[0]:.0f}x spread)"
+    )
+
+    # --- synchronous FedML, costed by the fleet clock ----------------------
+    sync = FedML(
+        model,
+        FedMLConfig(
+            alpha=0.05, beta=0.05, t0=t0, total_iterations=200, k=5,
+            eval_every=1, seed=0,
+        ),
+    ).fit(federated, sources)
+    upload = payload_bytes(sync.params)
+    sync_curve = loss_vs_wallclock(
+        sync.history, t0=t0, fleet=fleet, upload_bytes=upload
+    )
+    print(
+        f"\nsynchronous: {len(sync_curve.times) - 1} rounds in "
+        f"{sync_curve.times[-1]:.0f} simulated seconds "
+        f"(every round waits for the slowest device)"
+    )
+
+    # --- asynchronous FedML -------------------------------------------------
+    async_run = AsyncFedML(
+        model,
+        AsyncFedMLConfig(
+            alpha=0.05, beta=0.05, t0=t0,
+            total_uploads=(200 // t0) * len(sources), k=5,
+            mixing=0.6, staleness_power=0.5, eval_every=20, seed=0,
+        ),
+    ).fit(federated, sources, fleet)
+    print(
+        f"asynchronous: {len(async_run.upload_times)} uploads in "
+        f"{async_run.total_time:.0f} simulated seconds, max staleness "
+        f"{max(async_run.staleness)} versions"
+    )
+
+    # --- loss at equal time budgets -----------------------------------------
+    async_eval_steps = async_run.history.steps("global_meta_loss")
+    async_times = [0.0] + [
+        async_run.upload_times[min(s, len(async_run.upload_times)) - 1]
+        for s in async_eval_steps[1:]
+    ]
+    async_losses = async_run.global_meta_losses
+
+    def loss_at(times, losses, budget):
+        best = None
+        for t, value in zip(times, losses):
+            if t > budget:
+                break
+            best = value if best is None else min(best, value)
+        return best
+
+    rows = []
+    for budget in (5.0, 15.0, 40.0, 120.0):
+        sync_loss = loss_at(sync_curve.times, sync_curve.losses, budget)
+        async_loss = loss_at(async_times, async_losses, budget)
+        rows.append(
+            [
+                budget,
+                "-" if sync_loss is None else f"{sync_loss:.4f}",
+                "-" if async_loss is None else f"{async_loss:.4f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["time budget (s)", "sync meta-loss", "async meta-loss"], rows
+        )
+    )
+    print(
+        "\nthe asynchronous runner pulls ahead at tight budgets because fast"
+        "\ndevices keep contributing while stragglers are still computing;"
+        "\nsynchronous aggregation remains the quality reference given time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Convergence theory in practice — Theorems 1–2 against measured behaviour.
+
+The paper's analysis predicts how FedML's convergence depends on the inner
+learning rate α, the meta rate β, the number of local steps T0, and the
+node-dissimilarity constants (δ, σ).  This example:
+
+1. estimates the Assumption 1–4 constants (μ, H, B, ρ, δ_i, σ_i) for a
+   synthetic federation, using exact Hessian-vector products;
+2. derives the Lemma-1 constants (μ′, H′) of the meta objective, the valid
+   learning-rate ranges, and the Theorem-2 contraction factor ξ;
+3. evaluates the h(T0) error term across T0 and shows the predicted
+   communication/accuracy trade-off;
+4. runs FedML at several T0 and prints predicted-vs-measured behaviour.
+
+Run:  python examples/convergence_theory.py
+"""
+
+import numpy as np
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.metrics import format_table
+from repro.nn import LogisticRegression
+from repro.theory import (
+    contraction_factor,
+    estimate_similarity,
+    estimate_smoothness,
+    h_error_term,
+    lemma1_constants,
+    max_inner_learning_rate,
+    max_meta_learning_rate,
+)
+
+
+def main() -> None:
+    federated = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=20, mean_samples=25, seed=1)
+    )
+    model = LogisticRegression(input_dim=60, num_classes=10)
+    rng = np.random.default_rng(0)
+
+    # --- 1. estimate the assumption constants -------------------------------
+    pooled = federated.nodes[0]
+    for node in federated.nodes[1:]:
+        pooled = pooled.concat(node)
+    smooth = estimate_smoothness(model, pooled, rng, num_points=8)
+    print("estimated loss-landscape constants (Assumptions 1-3):")
+    print(f"  mu (strong convexity)  ≈ {smooth.mu:.4f}")
+    print(f"  H  (smoothness)        ≈ {smooth.smoothness:.4f}")
+    print(f"  B  (gradient bound)    ≈ {smooth.gradient_bound:.4f}")
+    print(f"  rho (Hessian Lipschitz)≈ {smooth.hessian_lipschitz:.4f}")
+
+    weights = [len(n) for n in federated.nodes]
+    similarity = estimate_similarity(
+        model,
+        model.init(np.random.default_rng(1)),
+        federated.nodes,
+        weights,
+        rng,
+        num_probes=2,
+    )
+    delta, sigma, tau = similarity.weighted(weights)
+    print("\nnode-dissimilarity constants (Assumption 4):")
+    print(f"  delta = Σωδ_i ≈ {delta:.4f}")
+    print(f"  sigma = Σωσ_i ≈ {sigma:.4f}")
+    print(f"  tau   = Σωδσ  ≈ {tau:.4f}")
+
+    # --- 2. Lemma 1 / Theorem 2 constants ------------------------------------
+    mu = max(smooth.mu, 1e-3)  # guard: sampled mu can be tiny
+    alpha_max = max_inner_learning_rate(
+        mu, smooth.smoothness, smooth.hessian_lipschitz, smooth.gradient_bound
+    )
+    alpha = min(0.01, 0.9 * alpha_max)
+    constants = lemma1_constants(
+        alpha, mu, smooth.smoothness, smooth.hessian_lipschitz,
+        smooth.gradient_bound,
+    )
+    beta_max = max_meta_learning_rate(constants)
+    beta = min(0.05, 0.9 * beta_max)
+    xi = contraction_factor(beta, constants)
+    print("\nmeta-objective constants (Lemma 1) and rates (Theorem 2):")
+    print(f"  alpha_max ≈ {alpha_max:.4f}  -> using alpha = {alpha:.4f}")
+    print(f"  mu' ≈ {constants.mu_prime:.4f}, H' ≈ {constants.h_prime:.4f}")
+    print(f"  beta_max ≈ {beta_max:.4f}   -> using beta = {beta:.4f}")
+    print(f"  contraction factor xi ≈ {xi:.6f}")
+
+    # --- 3. the h(T0) error term --------------------------------------------
+    rows = []
+    for t0 in (1, 2, 5, 10, 20, 50):
+        h = h_error_term(
+            t0, alpha, beta, constants, smooth.smoothness,
+            smooth.gradient_bound, delta, sigma, tau,
+        )
+        rows.append([t0, h])
+    print("\nTheorem 2's local-update error term h(T0):")
+    print(format_table(["T0", "h(T0)"], rows))
+    print("h(1) = 0 (Corollary 1): one local step adds no steady-state error.")
+
+    # --- 4. measured convergence vs T0 ---------------------------------------
+    sources = list(range(len(federated.nodes)))
+    rows = []
+    for t0 in (1, 5, 20):
+        cfg = FedMLConfig(
+            alpha=alpha, beta=beta, t0=t0, total_iterations=200, k=5,
+            eval_every=10**9, seed=0,
+        )
+        runner = FedML(model, cfg)
+        run = runner.fit(federated, sources)
+        measured = runner.global_meta_loss(run.params, run.nodes)
+        predicted_h = h_error_term(
+            t0, alpha, beta, constants, smooth.smoothness,
+            smooth.gradient_bound, delta, sigma, tau,
+        )
+        rows.append([t0, predicted_h, measured])
+    print("\npredicted error term vs measured final meta-loss (T=200):")
+    print(format_table(["T0", "predicted h(T0)", "measured G(θ^T)"], rows))
+    print(
+        "\nBoth columns grow with T0: more local steps per round save "
+        "communication but leave a larger steady-state error, exactly the "
+        "trade-off Theorem 2 quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

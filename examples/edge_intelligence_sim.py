@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""End-to-end platform-aided edge-intelligence simulation (Figure 1).
+
+This example exercises the full *systems* story of the paper, not just the
+learning algorithm:
+
+* 100 edge devices hold non-IID digit data (two digit classes each,
+  power-law sample counts) — the MNIST-like workload;
+* a platform coordinates federated meta-training over an LTE-like link,
+  with every upload/download charged against the link model;
+* a latecomer device (the target) receives the learned initialization and
+  reaches a personalized model within a handful of on-device gradient
+  steps — the "real-time edge intelligence" the title promises;
+* we account for the complete cost: bytes moved, simulated communication
+  time, and on-device gradient evaluations.
+
+Run:  python examples/edge_intelligence_sim.py
+"""
+
+import numpy as np
+
+from repro.core import FedML, FedMLConfig, adapt
+from repro.data import MnistLikeConfig, generate_mnist_like
+from repro.federated import LinkModel, Platform
+from repro.metrics import format_table, target_splits
+from repro.nn import LogisticRegression, accuracy, cross_entropy
+from repro.nn.parameters import num_parameters
+from repro.utils.serialization import payload_bytes
+
+
+def main() -> None:
+    # --- the device fleet -------------------------------------------------
+    federated = generate_mnist_like(MnistLikeConfig(num_nodes=100, seed=7))
+    stats = federated.statistics()
+    print(
+        f"fleet: {int(stats['nodes'])} devices, "
+        f"{stats['samples_mean']:.1f} ± {stats['samples_std']:.1f} samples "
+        "per device, 2 digit classes each"
+    )
+
+    sources, targets = federated.split_sources_targets(
+        0.8, np.random.default_rng(0)
+    )
+
+    # --- the platform and its wireless link --------------------------------
+    link = LinkModel(
+        uplink_bytes_per_s=1.25e6,  # 10 Mbit/s up
+        downlink_bytes_per_s=5.0e6,  # 40 Mbit/s down
+        latency_s=0.05,
+    )
+    platform = Platform(link=link)
+
+    model = LogisticRegression(input_dim=64, num_classes=10)
+    config = FedMLConfig(
+        alpha=0.1, beta=0.1, t0=5, total_iterations=400, k=5,
+        eval_every=20, seed=0,
+    )
+    runner = FedML(model, config, platform=platform)
+    result = runner.fit(federated, sources)
+
+    blob = payload_bytes(result.params)
+    log = platform.comm_log
+    print(
+        f"\nmeta-training: {config.total_iterations} local iterations, "
+        f"{platform.rounds_completed} aggregation rounds"
+    )
+    print(
+        f"model: {num_parameters(result.params)} parameters, "
+        f"{blob / 1024:.1f} KiB on the wire"
+    )
+    print(
+        f"traffic: {log.uplink_bytes / 1e6:.2f} MB up, "
+        f"{log.downlink_bytes / 1e6:.2f} MB down, "
+        f"simulated comm time {log.total_time:.1f} s"
+    )
+    compute = sum(n.gradient_evaluations for n in result.nodes)
+    print(f"compute: {compute} gradient evaluations across the fleet")
+    print(
+        "meta-loss: "
+        + " -> ".join(f"{v:.3f}" for v in result.global_meta_losses[::3])
+    )
+
+    # --- a latecomer device joins ------------------------------------------
+    print("\n--- target device onboarding ---")
+    initialization = platform.transfer_to_target()
+    rows = []
+    for target_index, split in zip(
+        targets, target_splits(federated, targets, k=5)
+    ):
+        device_params = initialization
+        logits = model.apply(device_params, split.test.x)
+        before = accuracy(logits, split.test.y)
+        # One on-device gradient step on the K=5 local samples (eq. 6).
+        device_params = adapt(model, device_params, split.train, alpha=0.1)
+        one_step = accuracy(model.apply(device_params, split.test.x), split.test.y)
+        device_params = adapt(
+            model, device_params, split.train, alpha=0.1, steps=4
+        )
+        five_steps = accuracy(
+            model.apply(device_params, split.test.x), split.test.y
+        )
+        rows.append([target_index, before, one_step, five_steps])
+        if len(rows) >= 10:
+            break
+
+    print(
+        format_table(
+            ["device", "acc before", "acc @1 step", "acc @5 steps"], rows
+        )
+    )
+    mean_before = np.mean([r[1] for r in rows])
+    mean_after = np.mean([r[3] for r in rows])
+    print(
+        f"\nmean target accuracy {mean_before:.2f} -> {mean_after:.2f} after "
+        "five on-device steps on five samples — real-time edge intelligence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart — train FedML on a synthetic federation and adapt at a target.
+
+This walks through the paper's whole pipeline in ~30 seconds:
+
+1. generate a heterogeneous federated workload (Synthetic(0.5, 0.5));
+2. designate 80% of the edge nodes as sources, the rest as targets;
+3. run federated meta-learning (Algorithm 1) across the sources;
+4. transfer the learned initialization to each target node and adapt it
+   with one (or a few) gradient steps on K = 5 local samples;
+5. compare against the paper's baseline: fine-tuning the FedAvg consensus
+   model (McMahan et al.) trained on the same sources.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FedAvg, FedAvgConfig, FedML, FedMLConfig, evaluate_adaptation
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.metrics import format_table, target_splits
+from repro.nn import LogisticRegression
+
+
+def main() -> None:
+    # 1. A federation of 30 edge nodes with heterogeneous local tasks.
+    federated = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=30, mean_samples=25, seed=1)
+    )
+    print(f"workload: {federated.name}, stats: {federated.statistics()}")
+
+    # 2. Sources run the federated meta-training; targets are held out.
+    sources, targets = federated.split_sources_targets(
+        0.8, np.random.default_rng(0)
+    )
+    print(f"{len(sources)} source nodes, {len(targets)} target nodes")
+
+    # 3. Algorithm 1: T0 = 5 local meta-steps between global aggregations.
+    model = LogisticRegression(input_dim=60, num_classes=10)
+    config = FedMLConfig(
+        alpha=0.05,  # inner (adaptation) learning rate, eq. 3
+        beta=0.05,  # meta learning rate, eq. 4
+        t0=5,  # local steps per communication round
+        total_iterations=300,
+        k=5,  # K-shot inner split
+        eval_every=10,
+        seed=0,
+    )
+    result = FedML(model, config).fit(federated, sources, verbose=False)
+    losses = result.global_meta_losses
+    print(f"global meta-loss: {losses[0]:.3f} -> {losses[-1]:.3f}")
+    print(
+        f"communication: {result.uplink_bytes / 1e6:.2f} MB uploaded over "
+        f"{result.platform.rounds_completed} aggregation rounds"
+    )
+
+    # 4. Fast adaptation at the held-out targets (eq. 6).
+    splits = target_splits(federated, targets, k=5)
+    meta_curve = evaluate_adaptation(
+        model, result.params, splits, alpha=0.05, max_steps=5
+    )
+
+    # 5. Baseline: fine-tuning the FedAvg consensus model.
+    fedavg = FedAvg(
+        model,
+        FedAvgConfig(
+            learning_rate=0.05, t0=5, total_iterations=300,
+            eval_every=60, seed=0,
+        ),
+    ).fit(federated, sources)
+    fedavg_curve = evaluate_adaptation(
+        model, fedavg.params, splits, alpha=0.05, max_steps=5
+    )
+
+    rows = []
+    for step in range(6):
+        rows.append(
+            [
+                step,
+                meta_curve.losses[step],
+                meta_curve.accuracies[step],
+                fedavg_curve.losses[step],
+                fedavg_curve.accuracies[step],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["steps", "FedML loss", "FedML acc", "FedAvg loss", "FedAvg acc"],
+            rows,
+        )
+    )
+    print(
+        "\nFedML's initialization adapts fastest in the first couple of "
+        "gradient steps — the real-time edge-intelligence regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Robust FedML (Algorithm 2) — defending adaptation against FGSM attacks.
+
+Trains plain FedML and Wasserstein-DRO Robust FedML at several λ on the
+MNIST-like workload, then evaluates each transferred initialization at
+held-out target nodes: adapt with clean data, attack the test inputs with
+FGSM at increasing strength ξ, and report the robustness/accuracy
+trade-off of the paper's Figure 4.
+
+Run:  python examples/robust_adaptation.py
+"""
+
+import numpy as np
+
+from repro.attacks import fgsm, pgd
+from repro.core import FedML, FedMLConfig, RobustFedML, RobustFedMLConfig
+from repro.data import MnistLikeConfig, generate_mnist_like
+from repro.metrics import evaluate_robustness, format_table, target_splits
+from repro.nn import LogisticRegression
+
+ITERATIONS = 300
+LAMBDAS = [0.1, 1.0, 10.0]
+XIS = [0.0, 0.05, 0.1, 0.2]
+
+
+def main() -> None:
+    federated = generate_mnist_like(MnistLikeConfig(num_nodes=30, seed=2))
+    sources, targets = federated.split_sources_targets(
+        0.8, np.random.default_rng(0)
+    )
+    model = LogisticRegression(input_dim=64, num_classes=10)
+    splits = target_splits(federated, targets, k=5)
+
+    print("training FedML ...")
+    initializations = {
+        "FedML": FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, t0=5, total_iterations=ITERATIONS,
+                k=5, eval_every=ITERATIONS, seed=0,
+            ),
+        )
+        .fit(federated, sources)
+        .params
+    }
+    for lam in LAMBDAS:
+        print(f"training Robust FedML (λ={lam:g}) ...")
+        run = RobustFedML(
+            model,
+            RobustFedMLConfig(
+                alpha=0.05, beta=0.05, t0=5, total_iterations=ITERATIONS,
+                k=5, lam=lam, nu=1.0, ta=10, n0=7, r_max=2,
+                eval_every=ITERATIONS, seed=0,
+            ),
+        ).fit(federated, sources)
+        total_adv = sum(run.adversarial_counts())
+        print(f"  built {total_adv} adversarial samples across the fleet")
+        initializations[f"Robust λ={lam:g}"] = run.params
+
+    print("\naccuracy after clean 5-step adaptation, under FGSM(ξ):")
+    rows = []
+    for name, params in initializations.items():
+        row = [name]
+        for xi in XIS:
+            report = evaluate_robustness(
+                model, params, splits, alpha=0.05, adapt_steps=5,
+                attack=lambda m, p, x, y, xi=xi: fgsm(
+                    m, p, x, y, xi=xi, clip_range=(0.0, 1.0)
+                ),
+            )
+            row.append(report.adversarial_accuracy)
+        rows.append(row)
+    print(format_table(["Method"] + [f"ξ={xi:g}" for xi in XIS], rows))
+
+    print("\nunder the stronger PGD attack (ε=0.1, 10 steps):")
+    rows = []
+    for name, params in initializations.items():
+        report = evaluate_robustness(
+            model, params, splits, alpha=0.05, adapt_steps=5,
+            attack=lambda m, p, x, y: pgd(
+                m, p, x, y, epsilon=0.1, step_size=0.025, steps=10,
+                clip_range=(0.0, 1.0),
+            ),
+        )
+        rows.append([name, report.clean_accuracy, report.adversarial_accuracy])
+    print(format_table(["Method", "clean acc", "PGD acc"], rows))
+
+    print(
+        "\nsmaller λ = larger Wasserstein uncertainty set = stronger "
+        "defense; λ=10's set is too small to matter (Figure 4's trade-off)."
+    )
+
+
+if __name__ == "__main__":
+    main()

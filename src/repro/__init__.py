@@ -1,0 +1,41 @@
+"""repro — reproduction of "Real-Time Edge Intelligence in the Making:
+A Collaborative Learning Framework via Federated Meta-Learning" (ICDCS 2020).
+
+Subpackages
+-----------
+``repro.autodiff``
+    NumPy reverse-mode autodiff with double-backward support.
+``repro.nn``
+    Functional neural-network models, losses and optimizers.
+``repro.data``
+    Federated workload generators (Synthetic(alpha, beta), MNIST-like,
+    Sent140-like) and dataset containers.
+``repro.federated``
+    The platform-aided substrate: edge nodes, aggregation, link cost model.
+``repro.core``
+    The paper's algorithms: FedML (Algorithm 1), Robust FedML (Algorithm 2),
+    FedAvg, centralized MAML, federated Reptile, target adaptation.
+``repro.attacks``
+    FGSM / PGD / Wasserstein-DRO perturbations.
+``repro.theory``
+    Assumption-constant estimation and Theorems 1-4 as callable bounds.
+``repro.metrics``
+    Few-shot and robustness evaluation protocols, table formatting.
+"""
+
+from . import attacks, autodiff, core, data, federated, metrics, nn, theory, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "attacks",
+    "autodiff",
+    "core",
+    "data",
+    "federated",
+    "metrics",
+    "nn",
+    "theory",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Adversarial perturbations: FGSM, PGD and the Wasserstein-DRO ascent."""
+
+from .common import embed_inputs, input_gradient
+from .fgsm import fgsm
+from .pgd import pgd
+from .wasserstein import surrogate_objective, wasserstein_ascent
+
+__all__ = [
+    "embed_inputs",
+    "input_gradient",
+    "fgsm",
+    "pgd",
+    "surrogate_objective",
+    "wasserstein_ascent",
+]

@@ -1,0 +1,100 @@
+"""NumPy-backed reverse-mode autodiff with second-order (double-backward) support.
+
+This package is the computational substrate for the whole reproduction: the
+MAML-style meta-gradient in :mod:`repro.core` differentiates *through* an
+inner gradient-descent step, which requires gradients that are themselves
+differentiable graph nodes (``grad(..., create_graph=True)``).
+
+Public surface
+--------------
+``Tensor`` / ``tensor``
+    The array type and its constructor.
+``grad``
+    Functional reverse-mode differentiation (torch-``autograd.grad``-like).
+``ops``
+    Differentiable primitive operations (also exposed as methods/operators).
+"""
+
+from . import ops
+from .check import check_gradients, check_second_order, numerical_gradient
+from .ops import (
+    abs_,
+    add,
+    as_tensor,
+    broadcast_to,
+    clip,
+    concatenate,
+    div,
+    exp,
+    getitem,
+    log,
+    log_softmax,
+    logsumexp,
+    matmul,
+    max_,
+    mean,
+    min_,
+    mul,
+    neg,
+    norm_sq,
+    ones_like,
+    power,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    sub,
+    sum_,
+    tanh,
+    transpose,
+    where,
+    zeros_like,
+)
+from .tensor import GradientError, Tensor, grad, is_tensor, tensor
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "grad",
+    "is_tensor",
+    "GradientError",
+    "ops",
+    "check_gradients",
+    "check_second_order",
+    "numerical_gradient",
+    "abs_",
+    "add",
+    "as_tensor",
+    "broadcast_to",
+    "clip",
+    "concatenate",
+    "div",
+    "exp",
+    "getitem",
+    "log",
+    "log_softmax",
+    "logsumexp",
+    "matmul",
+    "max_",
+    "mean",
+    "min_",
+    "mul",
+    "neg",
+    "norm_sq",
+    "ones_like",
+    "power",
+    "relu",
+    "reshape",
+    "sigmoid",
+    "softmax",
+    "sqrt",
+    "stack",
+    "sub",
+    "sum_",
+    "tanh",
+    "transpose",
+    "where",
+    "zeros_like",
+]

@@ -1,0 +1,106 @@
+"""Numerical gradient checking utilities.
+
+Used by the test suite to validate the autodiff engine (first and second
+order) against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, grad
+
+__all__ = ["numerical_gradient", "check_gradients", "check_second_order"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    args: Sequence[np.ndarray],
+    wrt: int = 0,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*args)`` w.r.t. ``args[wrt]``."""
+    base = [np.asarray(a, dtype=np.float64).copy() for a in args]
+    target = base[wrt]
+    result = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = target[idx]
+        target[idx] = original + epsilon
+        plus = fn(*[Tensor(a) for a in base]).item()
+        target[idx] = original - epsilon
+        minus = fn(*[Tensor(a) for a in base]).item()
+        target[idx] = original
+        result[idx] = (plus - minus) / (2.0 * epsilon)
+        it.iternext()
+    return result
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    args: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert that autodiff gradients of scalar ``fn`` match finite differences."""
+    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in args]
+    out = fn(*tensors)
+    analytic = grad(out, tensors, allow_unused=True)
+    for i, g in enumerate(analytic):
+        numeric = numerical_gradient(fn, args, wrt=i)
+        got = np.zeros_like(numeric) if g is None else g.data
+        np.testing.assert_allclose(
+            got,
+            numeric,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for argument {i}",
+        )
+
+
+def check_second_order(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> None:
+    """Assert grad-of-grad of scalar ``fn`` matches a finite-difference Hessian.
+
+    ``fn`` must take a single tensor argument.  The full Hessian is built
+    column by column from reverse-over-reverse autodiff and compared against
+    differentiating the numerical gradient.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+
+    def grad_fn(values: np.ndarray) -> np.ndarray:
+        t = Tensor(values.reshape(x.shape), requires_grad=True)
+        (g,) = grad(fn(t), [t])
+        return g.data.reshape(-1)
+
+    # Numerical Hessian via central differences of the analytic gradient.
+    epsilon = 1e-5
+    numeric = np.zeros((n, n))
+    flat = x.reshape(-1).copy()
+    for j in range(n):
+        bumped = flat.copy()
+        bumped[j] += epsilon
+        plus = grad_fn(bumped)
+        bumped[j] -= 2 * epsilon
+        minus = grad_fn(bumped)
+        numeric[:, j] = (plus - minus) / (2.0 * epsilon)
+
+    # Analytic Hessian via double backward.
+    t = Tensor(x, requires_grad=True)
+    (g,) = grad(fn(t), [t], create_graph=True)
+    analytic = np.zeros((n, n))
+    for i in range(n):
+        seed = np.zeros(g.shape)
+        seed.reshape(-1)[i] = 1.0
+        (row,) = grad(g, [t], grad_output=Tensor(seed), allow_unused=True)
+        analytic[i, :] = 0.0 if row is None else row.data.reshape(-1)
+
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

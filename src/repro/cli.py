@@ -1,0 +1,304 @@
+"""Command-line interface: run the paper's pipelines without writing code.
+
+Examples
+--------
+Train FedML on a synthetic federation and evaluate target adaptation::
+
+    python -m repro.cli train --algorithm fedml --dataset synthetic \
+        --nodes 30 --iterations 300 --t0 5 --alpha 0.05 --beta 0.05
+
+Compare algorithms::
+
+    python -m repro.cli train --algorithm fedavg --dataset mnist --iterations 200
+
+Print workload statistics (Table I)::
+
+    python -m repro.cli stats --dataset sent140 --nodes 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import (
+    ADMLConfig,
+    FedAvg,
+    FedAvgConfig,
+    FederatedADML,
+    FederatedMetaSGD,
+    FederatedReptile,
+    FedML,
+    FedMLConfig,
+    MetaSGDConfig,
+    ReptileConfig,
+    RobustFedML,
+    RobustFedMLConfig,
+    evaluate_adaptation,
+)
+from .core.fedprox import FedProx, FedProxConfig
+from .data import (
+    FederatedDataset,
+    MnistLikeConfig,
+    Sent140LikeConfig,
+    SyntheticConfig,
+    generate_mnist_like,
+    generate_sent140_like,
+    generate_synthetic,
+)
+from .metrics import format_table, target_splits
+from .nn import EmbeddingClassifier, LogisticRegression, Model
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_dataset(args: argparse.Namespace) -> FederatedDataset:
+    if args.dataset == "synthetic":
+        return generate_synthetic(
+            SyntheticConfig(
+                alpha=args.synthetic_alpha,
+                beta=args.synthetic_beta,
+                num_nodes=args.nodes,
+                seed=args.data_seed,
+            )
+        )
+    if args.dataset == "mnist":
+        return generate_mnist_like(
+            MnistLikeConfig(num_nodes=args.nodes, seed=args.data_seed)
+        )
+    if args.dataset == "sent140":
+        return generate_sent140_like(
+            Sent140LikeConfig(num_nodes=args.nodes, seed=args.data_seed)
+        )
+    raise ValueError(f"unknown dataset '{args.dataset}'")
+
+
+def _build_model(args: argparse.Namespace, federated: FederatedDataset) -> Model:
+    if args.dataset == "synthetic":
+        return LogisticRegression(60, 10)
+    if args.dataset == "mnist":
+        return LogisticRegression(64, 10)
+    return EmbeddingClassifier(
+        vocab_size=federated.metadata["vocab_size"],
+        embed_dim=16,
+        seq_len=federated.metadata["seq_len"],
+        hidden_dims=(32, 16),
+        num_classes=2,
+        batch_norm=True,
+        embedding_seed=0,
+    )
+
+
+def _build_trainer(args: argparse.Namespace, model: Model):
+    if args.algorithm == "fedml":
+        return FedML(
+            model,
+            FedMLConfig(
+                alpha=args.alpha, beta=args.beta, t0=args.t0,
+                total_iterations=args.iterations, k=args.k,
+                first_order=args.first_order, eval_every=args.eval_every,
+                seed=args.seed,
+            ),
+        )
+    if args.algorithm == "robust-fedml":
+        return RobustFedML(
+            model,
+            RobustFedMLConfig(
+                alpha=args.alpha, beta=args.beta, t0=args.t0,
+                total_iterations=args.iterations, k=args.k,
+                lam=args.lam, nu=args.nu, ta=args.ta, n0=args.n0,
+                r_max=args.r_max, eval_every=args.eval_every, seed=args.seed,
+            ),
+        )
+    if args.algorithm == "fedavg":
+        return FedAvg(
+            model,
+            FedAvgConfig(
+                learning_rate=args.beta, t0=args.t0,
+                total_iterations=args.iterations, eval_every=args.eval_every,
+                seed=args.seed,
+            ),
+        )
+    if args.algorithm == "fedprox":
+        return FedProx(
+            model,
+            FedProxConfig(
+                learning_rate=args.beta, mu_prox=args.mu_prox, t0=args.t0,
+                total_iterations=args.iterations, eval_every=args.eval_every,
+                seed=args.seed,
+            ),
+        )
+    if args.algorithm == "reptile":
+        return FederatedReptile(
+            model,
+            ReptileConfig(
+                inner_lr=args.alpha, outer_lr=args.beta, t0=args.t0,
+                total_iterations=args.iterations, k=args.k,
+                eval_every=args.eval_every, seed=args.seed,
+            ),
+        )
+    if args.algorithm == "meta-sgd":
+        return FederatedMetaSGD(
+            model,
+            MetaSGDConfig(
+                alpha_init=args.alpha, beta=args.beta, t0=args.t0,
+                total_iterations=args.iterations, k=args.k,
+                eval_every=args.eval_every, seed=args.seed,
+            ),
+        )
+    if args.algorithm == "adml":
+        return FederatedADML(
+            model,
+            ADMLConfig(
+                alpha=args.alpha, beta=args.beta, t0=args.t0,
+                total_iterations=args.iterations, k=args.k,
+                epsilon=args.epsilon, eval_every=args.eval_every,
+                seed=args.seed,
+            ),
+        )
+    raise ValueError(f"unknown algorithm '{args.algorithm}'")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    federated = _build_dataset(args)
+    stats = federated.statistics()
+    if args.json:
+        print(json.dumps({"name": federated.name, **stats}))
+    else:
+        print(
+            format_table(
+                ["Dataset", "Nodes", "Samples mean", "Samples std"],
+                [
+                    [
+                        federated.name,
+                        int(stats["nodes"]),
+                        stats["samples_mean"],
+                        stats["samples_std"],
+                    ]
+                ],
+            )
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    federated = _build_dataset(args)
+    model = _build_model(args, federated)
+    sources, targets = federated.split_sources_targets(
+        args.source_fraction, np.random.default_rng(args.split_seed)
+    )
+    trainer = _build_trainer(args, model)
+    result = trainer.fit(federated, sources)
+
+    history = result.history
+    loss_key = (
+        "global_meta_loss"
+        if history.series("global_meta_loss")
+        else "global_loss"
+    )
+    losses = history.series(loss_key)
+
+    splits = target_splits(federated, targets, k=args.k)
+    curve = evaluate_adaptation(
+        model, result.params, splits, alpha=args.alpha,
+        max_steps=args.adapt_steps,
+    )
+
+    payload = {
+        "algorithm": args.algorithm,
+        "dataset": federated.name,
+        "sources": len(sources),
+        "targets": len(splits),
+        "initial_loss": losses[0] if losses else None,
+        "final_loss": losses[-1] if losses else None,
+        "uplink_bytes": result.platform.comm_log.uplink_bytes,
+        "adaptation_losses": curve.losses,
+        "adaptation_accuracies": curve.accuracies,
+    }
+    if args.json:
+        print(json.dumps(payload))
+        return 0
+
+    print(f"{args.algorithm} on {federated.name}: "
+          f"{len(sources)} sources, {len(splits)} targets")
+    if losses:
+        print(f"training loss: {losses[0]:.4f} -> {losses[-1]:.4f}")
+    print(f"uplink traffic: {payload['uplink_bytes'] / 1e6:.2f} MB")
+    rows = [
+        [step, curve.losses[step], curve.accuracies[step]]
+        for step in range(len(curve.losses))
+    ]
+    print(format_table(["adapt steps", "target loss", "target acc"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Federated meta-learning (ICDCS 2020) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dataset", choices=["synthetic", "mnist", "sent140"],
+            default="synthetic",
+        )
+        p.add_argument("--nodes", type=int, default=30)
+        p.add_argument("--data-seed", type=int, default=0)
+        p.add_argument("--synthetic-alpha", type=float, default=0.5)
+        p.add_argument("--synthetic-beta", type=float, default=0.5)
+        p.add_argument("--json", action="store_true", help="emit JSON")
+
+    stats = sub.add_parser("stats", help="print workload statistics (Table I)")
+    add_dataset_args(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    train = sub.add_parser("train", help="train an algorithm and evaluate")
+    add_dataset_args(train)
+    train.add_argument(
+        "--algorithm",
+        choices=[
+            "fedml", "robust-fedml", "fedavg", "fedprox", "reptile",
+            "meta-sgd", "adml",
+        ],
+        default="fedml",
+    )
+    train.add_argument("--alpha", type=float, default=0.05)
+    train.add_argument("--beta", type=float, default=0.05)
+    train.add_argument("--t0", type=int, default=5)
+    train.add_argument("--iterations", type=int, default=200)
+    train.add_argument("--k", type=int, default=5)
+    train.add_argument("--eval-every", type=int, default=10)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--split-seed", type=int, default=0)
+    train.add_argument("--source-fraction", type=float, default=0.8)
+    train.add_argument("--adapt-steps", type=int, default=5)
+    train.add_argument("--first-order", action="store_true")
+    # Robust FedML knobs.
+    train.add_argument("--lam", type=float, default=1.0)
+    train.add_argument("--nu", type=float, default=1.0)
+    train.add_argument("--ta", type=int, default=10)
+    train.add_argument("--n0", type=int, default=7)
+    train.add_argument("--r-max", type=int, default=2)
+    # FedProx knob.
+    train.add_argument("--mu-prox", type=float, default=0.1)
+    # ADML knob.
+    train.add_argument("--epsilon", type=float, default=0.1)
+    train.set_defaults(func=_cmd_train)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

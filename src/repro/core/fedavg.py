@@ -1,0 +1,156 @@
+"""Federated averaging (McMahan et al., 2016) — the paper's baseline.
+
+FedAvg trains a single global model to fit all nodes' data: each node runs
+``T0`` plain SGD steps on its *entire* local dataset (the paper: "the entire
+dataset is used for training in Fedavg"), then the platform averages.  The
+result is a good consensus model but — as Figures 3(c)–(e) show — a poor
+*initialization* for few-shot adaptation, which is the phenomenon FedML
+exists to fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import grad
+from ..data.dataset import Dataset, FederatedDataset
+from ..federated.node import EdgeNode
+from ..federated.platform import Platform
+from ..federated.sampling import FullParticipation
+from ..nn.losses import cross_entropy
+from ..nn.modules import Model
+from ..nn.parameters import Params, add_scaled, detach, require_grad
+from ..utils.logging import RunLogger
+from .maml import LossFn
+
+__all__ = ["FedAvgConfig", "FedAvgResult", "FedAvg"]
+
+
+@dataclass(frozen=True)
+class FedAvgConfig:
+    """Hyper-parameters: learning rate matches the paper's β for fairness."""
+
+    learning_rate: float = 0.01
+    t0: int = 5
+    total_iterations: int = 100
+    eval_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.t0 < 1 or self.total_iterations < 1:
+            raise ValueError("t0 and total_iterations must be >= 1")
+
+
+@dataclass
+class FedAvgResult:
+    params: Params
+    nodes: List[EdgeNode]
+    platform: Platform
+    history: RunLogger
+
+    @property
+    def global_losses(self) -> List[float]:
+        return self.history.series("global_loss")
+
+
+class FedAvg:
+    """Runner for federated averaging over a :class:`FederatedDataset`."""
+
+    def __init__(
+        self,
+        model: Model,
+        config: FedAvgConfig,
+        loss_fn: LossFn = cross_entropy,
+        platform: Optional[Platform] = None,
+        participation=None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.loss_fn = loss_fn
+        self.platform = platform if platform is not None else Platform()
+        self.participation = (
+            participation if participation is not None else FullParticipation()
+        )
+
+    def _local_gradient(self, params: Params, data: Dataset) -> Params:
+        theta = require_grad(params)
+        loss = self.loss_fn(self.model.apply(theta, data.x), data.y)
+        names = sorted(theta)
+        grads = grad(loss, [theta[n] for n in names], allow_unused=True)
+        out: Params = {}
+        for name, g in zip(names, grads):
+            out[name] = g if g is not None else theta[name] * 0.0
+        return out
+
+    def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
+        """Weighted empirical loss ``L_w(theta)`` (eq. 2)."""
+        total = 0.0
+        weight_sum = sum(node.weight for node in nodes)
+        for node in nodes:
+            data = node.split.train.concat(node.split.test)
+            value = self.loss_fn(
+                self.model.apply(params, data.x), data.y
+            ).item()
+            total += node.weight / weight_sum * value
+        return total
+
+    def fit(
+        self,
+        federated: FederatedDataset,
+        source_ids: Sequence[int],
+        init_params: Optional[Params] = None,
+        verbose: bool = False,
+    ) -> FedAvgResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        from ..federated.node import build_nodes
+
+        # FedAvg ignores the K-split for training (it uses all local data),
+        # but we keep the same node/weight construction for comparability.
+        datasets = [federated.nodes[i] for i in source_ids]
+        min_size = min(len(d) for d in datasets)
+        nodes = build_nodes(datasets, max(1, min(2, min_size - 1)), node_ids=list(source_ids))
+
+        params = (
+            detach(init_params) if init_params is not None else self.model.init(rng)
+        )
+        self.platform.initialize(params, nodes)
+        history = RunLogger(name="fedavg", verbose=verbose)
+        history.log(0, global_loss=self.global_loss(params, nodes), uplink_bytes=0)
+
+        full_data = {
+            node.node_id: node.split.train.concat(node.split.test) for node in nodes
+        }
+
+        aggregations = 0
+        for t in range(1, cfg.total_iterations + 1):
+            for node in nodes:
+                assert node.params is not None
+                gradient = self._local_gradient(node.params, full_data[node.node_id])
+                node.params = add_scaled(node.params, gradient, -cfg.learning_rate)
+                node.record_local_step(gradient_evals=1)
+            if t % cfg.t0 == 0:
+                participating = self.participation.select(nodes, t // cfg.t0)
+                aggregated = self.platform.aggregate(participating)
+                for node in nodes:
+                    if node not in participating:
+                        node.params = detach(aggregated)
+                aggregations += 1
+                if aggregations % cfg.eval_every == 0:
+                    history.log(
+                        t,
+                        global_loss=self.global_loss(aggregated, nodes),
+                        uplink_bytes=self.platform.comm_log.uplink_bytes,
+                    )
+
+        final = self.platform.global_params
+        if final is None:
+            final = self.platform.aggregate(nodes)
+        return FedAvgResult(
+            params=detach(final), nodes=nodes, platform=self.platform, history=history
+        )

@@ -1,0 +1,206 @@
+"""Federated meta-learning — Algorithm 1 of the paper.
+
+Every iteration ``t`` each source node takes one local meta-step
+
+    phi_i^t      = theta_i^t − α ∇L(theta_i^t, D_i^train)        (eq. 3)
+    theta_i^{t+1} = theta_i^t − β ∇_theta L(phi_i^t, D_i^test)    (eq. 4)
+
+and every ``T0`` iterations the platform aggregates
+
+    theta^{t+1} = Σ_i ω_i theta_i^{t+1}                           (eq. 5)
+
+and broadcasts it back.  ``T0`` is the paper's knob trading communication
+cost against local computation (Theorem 2 characterizes the error it
+introduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import FederatedDataset
+from ..federated.node import EdgeNode, build_nodes
+from ..federated.platform import Platform
+from ..federated.sampling import FullParticipation
+from ..nn.losses import cross_entropy
+from ..nn.modules import Model
+from ..nn.parameters import Params, add_scaled, detach
+from ..utils.logging import RunLogger
+from .maml import LossFn, meta_gradient, meta_loss
+
+__all__ = ["FedMLConfig", "FedMLResult", "FedML"]
+
+
+@dataclass(frozen=True)
+class FedMLConfig:
+    """Hyper-parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    alpha:
+        Inner learning rate of the one-step update (eq. 3).
+    beta:
+        Meta learning rate of the local update (eq. 4).
+    t0:
+        Local iterations between global aggregations.
+    total_iterations:
+        Total local-iteration budget ``T`` (the paper assumes ``T = N·T0``).
+    k:
+        Size of each node's inner training split ``|D_i^train|``.
+    inner_steps:
+        Gradient steps of the inner update (paper: 1).
+    first_order:
+        Drop second-order terms (FOMAML) — an ablation, not the paper default.
+    eval_every:
+        Record the global meta-loss every this many aggregations (1 = every
+        aggregation; evaluation is pure bookkeeping, not part of training).
+    """
+
+    alpha: float = 0.01
+    beta: float = 0.01
+    t0: int = 5
+    total_iterations: int = 100
+    k: int = 5
+    inner_steps: int = 1
+    first_order: bool = False
+    eval_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.t0 < 1:
+            raise ValueError("t0 must be >= 1")
+        if self.total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+
+@dataclass
+class FedMLResult:
+    """Everything a run produces: final model, nodes, platform, history."""
+
+    params: Params
+    nodes: List[EdgeNode]
+    platform: Platform
+    history: RunLogger
+
+    @property
+    def global_meta_losses(self) -> List[float]:
+        return self.history.series("global_meta_loss")
+
+    @property
+    def uplink_bytes(self) -> int:
+        return self.platform.comm_log.uplink_bytes
+
+
+class FedML:
+    """Runner for Algorithm 1 over a :class:`FederatedDataset`."""
+
+    def __init__(
+        self,
+        model: Model,
+        config: FedMLConfig,
+        loss_fn: LossFn = cross_entropy,
+        platform: Optional[Platform] = None,
+        participation=None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.loss_fn = loss_fn
+        self.platform = platform if platform is not None else Platform()
+        self.participation = (
+            participation if participation is not None else FullParticipation()
+        )
+
+    # ------------------------------------------------------------------
+    def build_source_nodes(
+        self, federated: FederatedDataset, source_ids: Sequence[int]
+    ) -> List[EdgeNode]:
+        datasets = [federated.nodes[i] for i in source_ids]
+        return build_nodes(datasets, self.config.k, node_ids=list(source_ids))
+
+    def global_meta_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
+        """``G(theta) = Σ ω_i G_i(theta)`` over the source nodes."""
+        total = 0.0
+        weight_sum = sum(node.weight for node in nodes)
+        for node in nodes:
+            value = meta_loss(
+                self.model,
+                params,
+                node.split,
+                self.config.alpha,
+                inner_steps=self.config.inner_steps,
+                loss_fn=self.loss_fn,
+            )
+            total += node.weight / weight_sum * value
+        return total
+
+    def local_step(self, node: EdgeNode) -> float:
+        """One local meta-update (eq. 3 + eq. 4) on ``node``; returns its loss."""
+        assert node.params is not None
+        gradient, value = meta_gradient(
+            self.model,
+            node.params,
+            node.split,
+            self.config.alpha,
+            inner_steps=self.config.inner_steps,
+            loss_fn=self.loss_fn,
+            first_order=self.config.first_order,
+        )
+        node.params = add_scaled(node.params, gradient, -self.config.beta)
+        node.record_local_step()
+        return value
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        federated: FederatedDataset,
+        source_ids: Sequence[int],
+        init_params: Optional[Params] = None,
+        verbose: bool = False,
+    ) -> FedMLResult:
+        """Run Algorithm 1 and return the learned initialization."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        nodes = self.build_source_nodes(federated, source_ids)
+
+        params = (
+            detach(init_params) if init_params is not None else self.model.init(rng)
+        )
+        self.platform.initialize(params, nodes)
+
+        history = RunLogger(name="fedml", verbose=verbose)
+        initial = self.global_meta_loss(self.platform.global_params, nodes)
+        history.log(0, global_meta_loss=initial, uplink_bytes=0)
+
+        aggregations = 0
+        for t in range(1, cfg.total_iterations + 1):
+            for node in nodes:
+                self.local_step(node)
+            if t % cfg.t0 == 0:
+                participating = self.participation.select(nodes, t // cfg.t0)
+                aggregated = self.platform.aggregate(participating)
+                # Nodes outside the participating set resynchronize too —
+                # the paper broadcasts theta^{t+1} to all of S.
+                for node in nodes:
+                    if node not in participating:
+                        node.params = detach(aggregated)
+                aggregations += 1
+                if aggregations % cfg.eval_every == 0:
+                    history.log(
+                        t,
+                        global_meta_loss=self.global_meta_loss(aggregated, nodes),
+                        uplink_bytes=self.platform.comm_log.uplink_bytes,
+                    )
+
+        final = self.platform.global_params
+        if final is None:  # T < T0: no aggregation happened; average manually
+            final = self.platform.aggregate(nodes)
+        return FedMLResult(
+            params=detach(final), nodes=nodes, platform=self.platform, history=history
+        )

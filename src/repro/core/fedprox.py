@@ -1,0 +1,162 @@
+"""FedProx (Sahu et al., 2018) — proximal federated optimization baseline.
+
+The paper cites FedProx as the principled way to tame statistical
+heterogeneity in plain federated learning: each node minimizes its local
+loss plus a proximal term anchoring it to the last global model,
+
+    min_θ  L_i(θ) + (μ_prox / 2) ‖θ − θ_global‖².
+
+Like FedAvg it learns a consensus model (not an initialization), so it
+shares FedAvg's weakness at few-shot adaptation — but it converges more
+stably when nodes drift (large T0 or very dissimilar nodes), which the
+ablation benches exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, grad
+from ..data.dataset import Dataset, FederatedDataset
+from ..federated.node import EdgeNode, build_nodes
+from ..federated.platform import Platform
+from ..nn.losses import cross_entropy
+from ..nn.modules import Model
+from ..nn.parameters import Params, detach, require_grad
+from ..utils.logging import RunLogger
+from .maml import LossFn
+
+__all__ = ["FedProxConfig", "FedProxResult", "FedProx"]
+
+
+@dataclass(frozen=True)
+class FedProxConfig:
+    """Hyper-parameters; ``mu_prox`` is the proximal coefficient μ."""
+
+    learning_rate: float = 0.01
+    mu_prox: float = 0.1
+    t0: int = 5
+    total_iterations: int = 100
+    eval_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.mu_prox < 0:
+            raise ValueError("mu_prox must be non-negative")
+        if self.t0 < 1 or self.total_iterations < 1:
+            raise ValueError("t0 and total_iterations must be >= 1")
+
+
+@dataclass
+class FedProxResult:
+    params: Params
+    nodes: List[EdgeNode]
+    platform: Platform
+    history: RunLogger
+
+    @property
+    def global_losses(self) -> List[float]:
+        return self.history.series("global_loss")
+
+
+class FedProx:
+    """Runner for FedProx over a :class:`FederatedDataset`."""
+
+    def __init__(
+        self,
+        model: Model,
+        config: FedProxConfig,
+        loss_fn: LossFn = cross_entropy,
+        platform: Optional[Platform] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.loss_fn = loss_fn
+        self.platform = platform if platform is not None else Platform()
+
+    def _proximal_gradient(
+        self, params: Params, anchor: Params, data: Dataset
+    ) -> Params:
+        """∇[L_i(θ) + (μ/2)‖θ − θ_anchor‖²]."""
+        theta = require_grad(params)
+        loss = self.loss_fn(self.model.apply(theta, data.x), data.y)
+        names = sorted(theta)
+        grads = grad(loss, [theta[n] for n in names], allow_unused=True)
+        out: Params = {}
+        for name, g in zip(names, grads):
+            data_grad = np.zeros_like(theta[name].data) if g is None else g.data
+            prox = self.config.mu_prox * (theta[name].data - anchor[name].data)
+            out[name] = Tensor(data_grad + prox)
+        return out
+
+    def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
+        total = 0.0
+        weight_sum = sum(node.weight for node in nodes)
+        for node in nodes:
+            data = node.split.train.concat(node.split.test)
+            value = self.loss_fn(self.model.apply(params, data.x), data.y).item()
+            total += node.weight / weight_sum * value
+        return total
+
+    def fit(
+        self,
+        federated: FederatedDataset,
+        source_ids: Sequence[int],
+        init_params: Optional[Params] = None,
+    ) -> FedProxResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        datasets = [federated.nodes[i] for i in source_ids]
+        min_size = min(len(d) for d in datasets)
+        nodes = build_nodes(
+            datasets, max(1, min(2, min_size - 1)), node_ids=list(source_ids)
+        )
+
+        params = (
+            detach(init_params) if init_params is not None else self.model.init(rng)
+        )
+        self.platform.initialize(params, nodes)
+        history = RunLogger(name="fedprox")
+        history.log(0, global_loss=self.global_loss(params, nodes))
+
+        full_data = {
+            node.node_id: node.split.train.concat(node.split.test) for node in nodes
+        }
+        anchor = detach(params)
+
+        aggregations = 0
+        for t in range(1, cfg.total_iterations + 1):
+            for node in nodes:
+                assert node.params is not None
+                gradient = self._proximal_gradient(
+                    node.params, anchor, full_data[node.node_id]
+                )
+                node.params = {
+                    name: Tensor(
+                        node.params[name].data
+                        - cfg.learning_rate * gradient[name].data
+                    )
+                    for name in node.params
+                }
+                node.record_local_step(gradient_evals=1)
+            if t % cfg.t0 == 0:
+                aggregated = self.platform.aggregate(nodes)
+                anchor = detach(aggregated)
+                aggregations += 1
+                if aggregations % cfg.eval_every == 0:
+                    history.log(
+                        t, global_loss=self.global_loss(aggregated, nodes)
+                    )
+
+        final = self.platform.global_params
+        if final is None:
+            final = self.platform.aggregate(nodes)
+        return FedProxResult(
+            params=detach(final), nodes=nodes, platform=self.platform,
+            history=history,
+        )

@@ -1,0 +1,140 @@
+"""Federated Reptile (Nichol et al., 2018) — a first-order alternative.
+
+Reptile replaces the MAML meta-gradient with the simple parameter difference
+``theta - phi`` after a few inner SGD steps.  The paper discusses it as the
+main Hessian-free alternative to MAML; we provide a federated variant as an
+ablation baseline: each node runs ``inner_steps`` SGD steps on its full
+local data and moves its meta-parameters toward the result; the platform
+aggregates every ``t0`` local meta-steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, grad
+from ..data.dataset import FederatedDataset
+from ..federated.node import EdgeNode, build_nodes
+from ..federated.platform import Platform
+from ..nn.losses import cross_entropy
+from ..nn.modules import Model
+from ..nn.parameters import Params, detach, require_grad
+from ..utils.logging import RunLogger
+from .maml import LossFn, meta_loss
+
+__all__ = ["ReptileConfig", "ReptileResult", "FederatedReptile"]
+
+
+@dataclass(frozen=True)
+class ReptileConfig:
+    inner_lr: float = 0.01
+    outer_lr: float = 0.5
+    inner_steps: int = 3
+    t0: int = 5
+    total_iterations: int = 100
+    k: int = 5
+    eval_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.inner_lr <= 0 or self.outer_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.inner_steps < 1 or self.t0 < 1 or self.total_iterations < 1:
+            raise ValueError("inner_steps, t0 and total_iterations must be >= 1")
+
+
+@dataclass
+class ReptileResult:
+    params: Params
+    nodes: List[EdgeNode]
+    platform: Platform
+    history: RunLogger
+
+
+class FederatedReptile:
+    """Reptile under the FedML communication pattern."""
+
+    def __init__(
+        self,
+        model: Model,
+        config: ReptileConfig,
+        loss_fn: LossFn = cross_entropy,
+        platform: Optional[Platform] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.loss_fn = loss_fn
+        self.platform = platform if platform is not None else Platform()
+
+    def _sgd_steps(self, params: Params, x, y, steps: int) -> Params:
+        current = detach(params)
+        for _ in range(steps):
+            theta = require_grad(current)
+            loss = self.loss_fn(self.model.apply(theta, x), y)
+            names = sorted(theta)
+            grads = grad(loss, [theta[n] for n in names], allow_unused=True)
+            current = {
+                name: Tensor(
+                    theta[name].data
+                    - (0.0 if g is None else self.config.inner_lr * g.data)
+                )
+                for name, g in zip(names, grads)
+            }
+        return current
+
+    def local_step(self, node: EdgeNode) -> None:
+        assert node.params is not None
+        data = node.split.train.concat(node.split.test)
+        phi = self._sgd_steps(node.params, data.x, data.y, self.config.inner_steps)
+        node.params = {
+            name: Tensor(
+                node.params[name].data
+                + self.config.outer_lr * (phi[name].data - node.params[name].data)
+            )
+            for name in node.params
+        }
+        node.record_local_step(gradient_evals=self.config.inner_steps)
+
+    def fit(
+        self,
+        federated: FederatedDataset,
+        source_ids: Sequence[int],
+        init_params: Optional[Params] = None,
+    ) -> ReptileResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        datasets = [federated.nodes[i] for i in source_ids]
+        nodes = build_nodes(datasets, cfg.k, node_ids=list(source_ids))
+        params = (
+            detach(init_params) if init_params is not None else self.model.init(rng)
+        )
+        self.platform.initialize(params, nodes)
+        history = RunLogger(name="reptile")
+
+        aggregations = 0
+        for t in range(1, cfg.total_iterations + 1):
+            for node in nodes:
+                self.local_step(node)
+            if t % cfg.t0 == 0:
+                aggregated = self.platform.aggregate(nodes)
+                aggregations += 1
+                if aggregations % cfg.eval_every == 0:
+                    value = sum(
+                        node.weight
+                        * meta_loss(
+                            self.model, aggregated, node.split, cfg.inner_lr,
+                            loss_fn=self.loss_fn,
+                        )
+                        for node in nodes
+                    )
+                    history.log(t, global_meta_loss=value)
+
+        final = self.platform.global_params
+        if final is None:
+            final = self.platform.aggregate(nodes)
+        return ReptileResult(
+            params=detach(final), nodes=nodes, platform=self.platform, history=history
+        )

@@ -1,0 +1,82 @@
+"""Data-corruption models for failure-injection experiments.
+
+Federated fleets contain unreliable members: mislabeled data, sensor noise,
+and outright poisoned nodes.  These helpers corrupt :class:`Dataset` /
+:class:`FederatedDataset` instances deterministically so the test suite and
+the robust-aggregation ablations can inject controlled faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .dataset import Dataset, FederatedDataset
+
+__all__ = [
+    "flip_labels",
+    "add_feature_noise",
+    "poison_node_labels",
+    "corrupt_nodes",
+]
+
+
+def flip_labels(
+    data: Dataset, fraction: float, num_classes: int, rng: np.random.Generator
+) -> Dataset:
+    """Uniformly relabel a fraction of samples to a *different* class."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    y = data.y.copy()
+    count = int(round(fraction * len(data)))
+    if count:
+        chosen = rng.choice(len(data), size=count, replace=False)
+        offsets = rng.integers(1, num_classes, size=count)
+        y[chosen] = (y[chosen] + offsets) % num_classes
+    return Dataset(x=data.x.copy(), y=y)
+
+
+def add_feature_noise(
+    data: Dataset, stddev: float, rng: np.random.Generator
+) -> Dataset:
+    """Add i.i.d. Gaussian noise to every feature."""
+    if stddev < 0:
+        raise ValueError("stddev must be non-negative")
+    noisy = data.x + rng.normal(0.0, stddev, size=data.x.shape)
+    return Dataset(x=noisy, y=data.y.copy())
+
+
+def poison_node_labels(data: Dataset, target_class: int) -> Dataset:
+    """Label-poisoning: relabel every sample to ``target_class``."""
+    if target_class < 0:
+        raise ValueError("target_class must be non-negative")
+    return Dataset(
+        x=data.x.copy(),
+        y=np.full(len(data), target_class, dtype=data.y.dtype),
+    )
+
+
+def corrupt_nodes(
+    federated: FederatedDataset,
+    node_indices: Sequence[int],
+    corruption,
+) -> FederatedDataset:
+    """Apply ``corruption(dataset) -> dataset`` to the selected nodes.
+
+    Returns a new federation; untouched nodes are shared, not copied.
+    """
+    targets = set(node_indices)
+    invalid = targets - set(range(len(federated.nodes)))
+    if invalid:
+        raise IndexError(f"node indices out of range: {sorted(invalid)}")
+    nodes: List[Dataset] = [
+        corruption(node) if i in targets else node
+        for i, node in enumerate(federated.nodes)
+    ]
+    return FederatedDataset(
+        name=f"{federated.name}+corrupted({len(targets)})",
+        nodes=nodes,
+        num_classes=federated.num_classes,
+        metadata=dict(federated.metadata),
+    )

@@ -1,0 +1,71 @@
+"""Sample-count and label partitioning helpers.
+
+The paper's workloads share two structural properties:
+
+* the number of samples per node follows a power law, and
+* (for MNIST) each node only holds samples of two digit classes.
+
+These helpers implement both, deterministically under an explicit RNG.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["power_law_sizes", "shard_labels"]
+
+
+def power_law_sizes(
+    num_nodes: int,
+    mean: float,
+    rng: np.random.Generator,
+    minimum: int = 4,
+    exponent: float = 1.5,
+) -> np.ndarray:
+    """Draw per-node sample counts following a (Lomax-style) power law.
+
+    Counts are rescaled so their empirical mean is close to ``mean`` and
+    floored at ``minimum`` so every node can afford a K-shot split.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if mean <= minimum:
+        raise ValueError(f"mean ({mean}) must exceed minimum ({minimum})")
+    raw = rng.pareto(exponent, size=num_nodes) + 1.0
+    scaled = raw * (mean - minimum) / np.mean(raw) + minimum
+    sizes = np.maximum(minimum, np.round(scaled)).astype(int)
+    return sizes
+
+
+def shard_labels(
+    num_nodes: int,
+    num_classes: int,
+    labels_per_node: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Assign ``labels_per_node`` classes to each node, covering all classes.
+
+    Mirrors the McMahan et al. non-IID MNIST protocol the paper adopts
+    ("every node has samples of only two digits").
+    """
+    if labels_per_node > num_classes:
+        raise ValueError("labels_per_node cannot exceed num_classes")
+    assignments: List[np.ndarray] = []
+    # Round-robin over shuffled class lists keeps class coverage balanced.
+    # The pool is extended on demand: skipping duplicate candidates can
+    # consume more than labels_per_node entries per node.
+    pool: List[int] = []
+    cursor = 0
+    for _ in range(num_nodes):
+        chosen: List[int] = []
+        while len(chosen) < labels_per_node:
+            if cursor >= len(pool):
+                pool.extend(rng.permutation(num_classes).tolist())
+            candidate = pool[cursor]
+            cursor += 1
+            if candidate not in chosen:
+                chosen.append(candidate)
+        assignments.append(np.array(sorted(chosen)))
+    return assignments

@@ -1,0 +1,44 @@
+"""Federated-learning substrate: nodes, platform, links, aggregation, sampling."""
+
+from .aggregation import coordinate_median, trimmed_mean, weighted_mean
+from .hierarchy import GatewayAssignment, HierarchicalPlatform
+from .network import CommunicationLog, LinkModel, TransferRecord
+from .node import EdgeNode, build_nodes
+from .platform import Platform
+from .privacy import GaussianMechanism, SecureAggregator
+from .compression import CompressedPlatform, TopKSparsifier, UniformQuantizer
+from .sampling import DropoutInjector, FullParticipation, UniformSampler
+from .simulation import (
+    DeviceProfile,
+    FleetTimeline,
+    RoundOutcome,
+    sample_fleet,
+    simulate_synchronous_rounds,
+)
+
+__all__ = [
+    "coordinate_median",
+    "trimmed_mean",
+    "weighted_mean",
+    "GatewayAssignment",
+    "HierarchicalPlatform",
+    "CommunicationLog",
+    "LinkModel",
+    "TransferRecord",
+    "EdgeNode",
+    "build_nodes",
+    "Platform",
+    "GaussianMechanism",
+    "SecureAggregator",
+    "DropoutInjector",
+    "FullParticipation",
+    "UniformSampler",
+    "CompressedPlatform",
+    "TopKSparsifier",
+    "UniformQuantizer",
+    "DeviceProfile",
+    "FleetTimeline",
+    "RoundOutcome",
+    "sample_fleet",
+    "simulate_synchronous_rounds",
+]

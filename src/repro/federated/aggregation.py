@@ -1,0 +1,53 @@
+"""Global aggregation rules.
+
+The paper uses the data-size-weighted average (eq. 5).  Coordinate-wise
+median and trimmed mean are provided as robust alternatives — a standard
+hardening against Byzantine uploads, exercised by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn.parameters import Params, weighted_average
+
+__all__ = ["weighted_mean", "coordinate_median", "trimmed_mean"]
+
+
+def weighted_mean(trees: Sequence[Params], weights: Sequence[float]) -> Params:
+    """θ = Σ ω_i θ_i — the paper's aggregation (eq. 5)."""
+    return weighted_average(trees, weights)
+
+
+def _stack(trees: Sequence[Params]) -> Dict[str, np.ndarray]:
+    if not trees:
+        raise ValueError("cannot aggregate zero parameter trees")
+    names = sorted(trees[0])
+    return {
+        name: np.stack([tree[name].data for tree in trees], axis=0)
+        for name in names
+    }
+
+
+def coordinate_median(trees: Sequence[Params]) -> Params:
+    """Coordinate-wise median (ignores weights by construction)."""
+    stacked = _stack(trees)
+    return {name: Tensor(np.median(arr, axis=0)) for name, arr in stacked.items()}
+
+
+def trimmed_mean(trees: Sequence[Params], trim_fraction: float = 0.1) -> Params:
+    """Coordinate-wise mean after trimming the extreme ``trim_fraction`` tails."""
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError("trim_fraction must be in [0, 0.5)")
+    stacked = _stack(trees)
+    num = len(trees)
+    cut = int(np.floor(trim_fraction * num))
+    out: Params = {}
+    for name, arr in stacked.items():
+        ordered = np.sort(arr, axis=0)
+        kept = ordered[cut : num - cut] if cut else ordered
+        out[name] = Tensor(np.mean(kept, axis=0))
+    return out

@@ -1,0 +1,80 @@
+"""Edge-node abstraction.
+
+An :class:`EdgeNode` owns its local data (never shared with the platform —
+the paper's privacy premise), its current model parameters, and counters for
+local computation.  Algorithm logic (what a "local step" does) lives in
+:mod:`repro.core`; the node exposes the state those algorithms manipulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.dataset import Dataset, NodeSplit
+from ..nn.parameters import Params
+
+__all__ = ["EdgeNode", "build_nodes"]
+
+
+@dataclass
+class EdgeNode:
+    """State of one source edge node participating in federated training."""
+
+    node_id: int
+    split: NodeSplit
+    weight: float
+    params: Optional[Params] = None
+    #: adversarial samples built by Robust FedML (Algorithm 2, D_i^adv)
+    adversarial: Optional[Dataset] = None
+    #: counters for the computation side of the comm/compute trade-off
+    local_steps: int = field(default=0)
+    gradient_evaluations: int = field(default=0)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.split.train) + len(self.split.test)
+
+    def record_local_step(self, gradient_evals: int = 2) -> None:
+        """Count one local meta-step (inner + outer gradient by default)."""
+        self.local_steps += 1
+        self.gradient_evaluations += gradient_evals
+
+    def combined_test_set(self) -> Dataset:
+        """``D_i^comb = D_i^test ∪ D_i^adv`` (Algorithm 2, line 6)."""
+        if self.adversarial is None or len(self.adversarial) == 0:
+            return self.split.test
+        return self.split.test.concat(self.adversarial)
+
+
+def build_nodes(
+    datasets: List[Dataset], k: int, node_ids: Optional[List[int]] = None
+) -> List[EdgeNode]:
+    """Construct edge nodes with the paper's weighting ω_i = |D_i| / Σ|D_j|.
+
+    Each node's local data is split K-shot: ``|D_i^train| = K`` samples for
+    the inner update, the remainder forms ``D_i^test``.
+    """
+    if node_ids is None:
+        node_ids = list(range(len(datasets)))
+    if len(node_ids) != len(datasets):
+        raise ValueError("need one id per dataset")
+    total = sum(len(d) for d in datasets)
+    if total == 0:
+        raise ValueError("cannot build nodes from empty datasets")
+    nodes: List[EdgeNode] = []
+    for node_id, data in zip(node_ids, datasets):
+        train, test = data.split(k)
+        nodes.append(
+            EdgeNode(
+                node_id=node_id,
+                split=NodeSplit(train=train, test=test),
+                weight=len(data) / total,
+            )
+        )
+    weights = np.array([n.weight for n in nodes])
+    if not np.isclose(weights.sum(), 1.0):
+        raise AssertionError("node weights must sum to one")
+    return nodes

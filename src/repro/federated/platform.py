@@ -1,0 +1,87 @@
+"""The coordination platform.
+
+The platform never sees raw data — it only receives model parameters from
+source edge nodes, aggregates them (eq. 5), redistributes the global model,
+and eventually transfers the learned initialization to a target edge node.
+All transfers pass through the serialization layer so the communication log
+reflects true wire sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.parameters import Params
+from ..utils.serialization import deserialize_params, serialize_params
+from .aggregation import weighted_mean
+from .network import CommunicationLog, LinkModel
+from .node import EdgeNode
+
+__all__ = ["Platform"]
+
+Aggregator = Callable[[Sequence[Params], Sequence[float]], Params]
+
+
+@dataclass
+class Platform:
+    """Coordinates federated (meta-)training rounds."""
+
+    link: LinkModel = field(default_factory=LinkModel)
+    aggregator: Optional[Aggregator] = None
+    comm_log: CommunicationLog = field(init=False)
+    global_params: Optional[Params] = None
+    rounds_completed: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.comm_log = CommunicationLog(link=self.link)
+        if self.aggregator is None:
+            self.aggregator = weighted_mean
+
+    def initialize(self, params: Params, nodes: Sequence[EdgeNode]) -> None:
+        """Install θ⁰ and broadcast it to all source nodes (Algorithm 1, line 3)."""
+        self.global_params = params
+        self._broadcast(nodes, round_index=0)
+
+    def aggregate(self, nodes: Sequence[EdgeNode]) -> Params:
+        """One global aggregation: collect uploads, average, redistribute.
+
+        Node weights are renormalized over the participating subset so the
+        update remains a convex combination even under partial participation.
+        """
+        if not nodes:
+            raise ValueError("cannot aggregate with zero participating nodes")
+        self.rounds_completed += 1
+        round_index = self.rounds_completed
+
+        blobs: List[bytes] = []
+        for node in nodes:
+            if node.params is None:
+                raise RuntimeError(f"node {node.node_id} has no parameters to upload")
+            blob = serialize_params(node.params)
+            self.comm_log.charge_upload(round_index, node.node_id, len(blob))
+            blobs.append(blob)
+
+        trees = [deserialize_params(blob) for blob in blobs]
+        weights = np.array([node.weight for node in nodes], dtype=np.float64)
+        weights = weights / weights.sum()
+        self.global_params = self.aggregator(trees, weights.tolist())
+        self._broadcast(nodes, round_index)
+        return self.global_params
+
+    def transfer_to_target(self) -> Params:
+        """Ship the learned initialization to a target edge node (Figure 1)."""
+        if self.global_params is None:
+            raise RuntimeError("platform has no trained model to transfer")
+        return deserialize_params(serialize_params(self.global_params))
+
+    # ------------------------------------------------------------------
+    def _broadcast(self, nodes: Sequence[EdgeNode], round_index: int) -> None:
+        if self.global_params is None:
+            raise RuntimeError("no global parameters to broadcast")
+        blob = serialize_params(self.global_params)
+        for node in nodes:
+            self.comm_log.charge_download(round_index, node.node_id, len(blob))
+            node.params = deserialize_params(blob)

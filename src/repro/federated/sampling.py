@@ -1,0 +1,59 @@
+"""Node participation policies.
+
+The paper assumes full participation of the source set 𝒮; real federated
+deployments sample a fraction of nodes per round and tolerate dropouts.
+Both are provided so the ablation benches can measure their effect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .node import EdgeNode
+
+__all__ = ["FullParticipation", "UniformSampler", "DropoutInjector"]
+
+
+class FullParticipation:
+    """Every source node participates in every round (paper default)."""
+
+    def select(self, nodes: Sequence[EdgeNode], round_index: int) -> List[EdgeNode]:
+        return list(nodes)
+
+
+class UniformSampler:
+    """Sample a fixed fraction of nodes uniformly at random each round."""
+
+    def __init__(self, fraction: float, rng: np.random.Generator) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self._rng = rng
+
+    def select(self, nodes: Sequence[EdgeNode], round_index: int) -> List[EdgeNode]:
+        count = max(1, int(round(self.fraction * len(nodes))))
+        chosen = self._rng.choice(len(nodes), size=count, replace=False)
+        return [nodes[i] for i in sorted(chosen)]
+
+
+class DropoutInjector:
+    """Wrap another policy and drop each selected node i.i.d. with ``rate``.
+
+    At least one node always survives, so aggregation stays well defined.
+    """
+
+    def __init__(self, inner, rate: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.inner = inner
+        self.rate = rate
+        self._rng = rng
+
+    def select(self, nodes: Sequence[EdgeNode], round_index: int) -> List[EdgeNode]:
+        selected = self.inner.select(nodes, round_index)
+        surviving = [n for n in selected if self._rng.random() >= self.rate]
+        if not surviving:
+            surviving = [selected[int(self._rng.integers(len(selected)))]]
+        return surviving

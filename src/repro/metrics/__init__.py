@@ -1,0 +1,20 @@
+"""Evaluation protocols and result formatting."""
+
+from .evaluation import (
+    RobustnessReport,
+    evaluate_robustness,
+    few_shot_sweep,
+    target_splits,
+)
+from .tables import format_table
+from .wallclock import WallclockCurve, loss_vs_wallclock
+
+__all__ = [
+    "RobustnessReport",
+    "evaluate_robustness",
+    "few_shot_sweep",
+    "target_splits",
+    "format_table",
+    "WallclockCurve",
+    "loss_vs_wallclock",
+]

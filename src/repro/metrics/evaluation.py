@@ -1,0 +1,127 @@
+"""Experiment evaluation protocols.
+
+Implements the paper's target-node testing pipelines:
+
+* :func:`target_splits` — carve K-shot splits for held-out target nodes;
+* :func:`few_shot_sweep` — adaptation performance as a function of K
+  (Figures 3(c)–(e) vary the target's local dataset size);
+* :func:`evaluate_robustness` — clean vs. adversarial performance of an
+  initialization after clean-data adaptation (Figure 4 protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.adaptation import AdaptationCurve, adapt, evaluate_adaptation
+from ..data.dataset import Dataset, FederatedDataset, NodeSplit
+from ..nn.losses import accuracy, cross_entropy
+from ..nn.modules import Model
+from ..nn.parameters import Params, detach
+
+__all__ = [
+    "target_splits",
+    "few_shot_sweep",
+    "RobustnessReport",
+    "evaluate_robustness",
+]
+
+AttackFn = Callable[[Model, Params, np.ndarray, np.ndarray], np.ndarray]
+
+
+def target_splits(
+    federated: FederatedDataset, target_ids: Sequence[int], k: int
+) -> List[NodeSplit]:
+    """K-shot splits for the target nodes (skipping nodes with ≤ K samples)."""
+    splits: List[NodeSplit] = []
+    for idx in target_ids:
+        node = federated.nodes[idx]
+        if len(node) <= k:
+            continue
+        splits.append(federated.node_split(idx, k))
+    if not splits:
+        raise ValueError(
+            f"no target node has more than k={k} samples; decrease k"
+        )
+    return splits
+
+
+def few_shot_sweep(
+    model: Model,
+    params: Params,
+    federated: FederatedDataset,
+    target_ids: Sequence[int],
+    ks: Sequence[int],
+    alpha: float,
+    max_steps: int = 10,
+    loss_fn=cross_entropy,
+) -> Dict[int, AdaptationCurve]:
+    """Adaptation curves for each target-dataset size K."""
+    results: Dict[int, AdaptationCurve] = {}
+    for k in ks:
+        splits = target_splits(federated, target_ids, k)
+        results[k] = evaluate_adaptation(
+            model, params, splits, alpha, max_steps=max_steps, loss_fn=loss_fn
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Clean vs. adversarial performance after clean adaptation (Figure 4)."""
+
+    clean_loss: float
+    clean_accuracy: float
+    adversarial_loss: float
+    adversarial_accuracy: float
+
+    @property
+    def robustness_gap(self) -> float:
+        """Accuracy lost to the attack (smaller is more robust)."""
+        return self.clean_accuracy - self.adversarial_accuracy
+
+
+def evaluate_robustness(
+    model: Model,
+    params: Params,
+    targets: Sequence[NodeSplit],
+    alpha: float,
+    attack: AttackFn,
+    adapt_steps: int = 1,
+    loss_fn=cross_entropy,
+) -> RobustnessReport:
+    """The paper's Figure-4 protocol.
+
+    For each target node: adapt the initialization with *clean* training
+    data, then evaluate the adapted model on (a) the clean test set and
+    (b) the test set perturbed by ``attack`` (e.g. FGSM at strength ξ).
+    """
+    if not targets:
+        raise ValueError("need at least one target split")
+    sums = np.zeros(4)
+    for split in targets:
+        adapted = adapt(
+            model, detach(params), split.train, alpha, steps=adapt_steps,
+            loss_fn=loss_fn,
+        )
+        clean_logits = model.apply(adapted, split.test.x)
+        adv_x = attack(model, adapted, split.test.x, split.test.y)
+        adv_logits = model.apply(adapted, adv_x)
+        sums += np.array(
+            [
+                loss_fn(clean_logits, split.test.y).item(),
+                accuracy(clean_logits, split.test.y),
+                loss_fn(adv_logits, split.test.y).item(),
+                accuracy(adv_logits, split.test.y),
+            ]
+        )
+    sums /= len(targets)
+    return RobustnessReport(
+        clean_loss=float(sums[0]),
+        clean_accuracy=float(sums[1]),
+        adversarial_loss=float(sums[2]),
+        adversarial_accuracy=float(sums[3]),
+    )

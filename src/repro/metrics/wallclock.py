@@ -1,0 +1,75 @@
+"""Wall-clock costing of federated training runs.
+
+Joins a trainer's per-aggregation loss history with the discrete-event
+fleet simulator to produce *loss versus wall-clock time* curves — the
+metric that actually decides the paper's T0 trade-off at the edge: larger
+T0 means fewer (expensive) synchronous rounds per iteration, so early
+progress per second is faster, until the client-drift error (Theorem 2)
+catches up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..federated.simulation import DeviceProfile, simulate_synchronous_rounds
+from ..utils.logging import RunLogger
+
+__all__ = ["WallclockCurve", "loss_vs_wallclock"]
+
+
+@dataclass(frozen=True)
+class WallclockCurve:
+    """(seconds, loss) samples of one training run."""
+
+    times: List[float]
+    losses: List[float]
+
+    def loss_at(self, budget_s: float) -> Optional[float]:
+        """Best loss achieved within a wall-clock budget (None if none)."""
+        best: Optional[float] = None
+        for t, loss in zip(self.times, self.losses):
+            if t > budget_s:
+                break
+            best = loss if best is None else min(best, loss)
+        return best
+
+    def time_to_reach(self, loss_target: float) -> Optional[float]:
+        """First time the loss drops to ``loss_target`` (None if never)."""
+        for t, loss in zip(self.times, self.losses):
+            if loss <= loss_target:
+                return t
+        return None
+
+
+def loss_vs_wallclock(
+    history: RunLogger,
+    t0: int,
+    fleet: Sequence[DeviceProfile],
+    upload_bytes: int,
+    loss_key: str = "global_meta_loss",
+    deadline_s: Optional[float] = None,
+) -> WallclockCurve:
+    """Convert a per-aggregation loss history into a wall-clock curve.
+
+    ``history`` must contain one loss record per aggregation (train with
+    ``eval_every=1``); record 0 (the initial loss) is placed at time zero.
+    Each aggregation costs one synchronous round of ``t0`` local steps plus
+    a full-model upload, timed by the fleet simulator.
+    """
+    losses = history.series(loss_key)
+    if not losses:
+        raise ValueError(f"history has no '{loss_key}' records")
+    num_rounds = len(losses) - 1
+    if num_rounds == 0:
+        return WallclockCurve(times=[0.0], losses=list(losses))
+    timeline = simulate_synchronous_rounds(
+        fleet,
+        num_rounds=num_rounds,
+        local_steps_per_round=t0,
+        upload_bytes=upload_bytes,
+        deadline_s=deadline_s,
+    )
+    times = [0.0] + [outcome.finished_at for outcome in timeline.rounds]
+    return WallclockCurve(times=times, losses=list(losses))

@@ -1,0 +1,58 @@
+"""Functional neural-network library on top of :mod:`repro.autodiff`."""
+
+from . import init, parameters
+from .losses import accuracy, cross_entropy, mse, one_hot
+from .modules import MLP, EmbeddingClassifier, LogisticRegression, Model
+from .optim import SGD, Adam, Optimizer
+from .schedules import ConstantSchedule, CosineSchedule, StepDecaySchedule
+from .parameters import (
+    Params,
+    add_scaled,
+    clone,
+    detach,
+    from_vector,
+    l2_distance,
+    l2_norm,
+    num_bytes,
+    num_parameters,
+    require_grad,
+    to_vector,
+    tree_binary_map,
+    tree_map,
+    weighted_average,
+    zeros_like_params,
+)
+
+__all__ = [
+    "init",
+    "parameters",
+    "accuracy",
+    "cross_entropy",
+    "mse",
+    "one_hot",
+    "Model",
+    "LogisticRegression",
+    "MLP",
+    "EmbeddingClassifier",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "StepDecaySchedule",
+    "Params",
+    "add_scaled",
+    "clone",
+    "detach",
+    "from_vector",
+    "l2_distance",
+    "l2_norm",
+    "num_bytes",
+    "num_parameters",
+    "require_grad",
+    "to_vector",
+    "tree_binary_map",
+    "tree_map",
+    "weighted_average",
+    "zeros_like_params",
+]

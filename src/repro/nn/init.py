@@ -1,0 +1,27 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so experiments
+are reproducible end to end (see :mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["glorot_uniform", "normal", "zeros"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> Tensor:
+    """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+
+
+def normal(rng: np.random.Generator, shape: tuple, stddev: float = 0.01) -> Tensor:
+    return Tensor(rng.normal(0.0, stddev, size=shape))
+
+
+def zeros(shape: tuple) -> Tensor:
+    return Tensor(np.zeros(shape))

@@ -1,0 +1,67 @@
+"""Loss functions and evaluation metrics.
+
+The paper uses the cross-entropy loss for all experiments (eq. 1 defines the
+empirical loss as the sample mean of a per-example loss).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+
+__all__ = ["cross_entropy", "mse", "accuracy", "one_hot"]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of integer labels."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.size, num_classes))
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``softmax(logits)`` and integer ``labels``."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (batch, classes), got {logits.shape}")
+    num_classes = logits.shape[1]
+    targets = Tensor(one_hot(labels, num_classes))
+    log_probs = ops.log_softmax(logits, axis=1)
+    return ops.neg(ops.mean(ops.sum_(log_probs * targets, axis=1)))
+
+
+def mse(predictions: Tensor, targets: Union[np.ndarray, Tensor]) -> Tensor:
+    """Mean squared error."""
+    targets = ops.as_tensor(targets)
+    diff = predictions - targets
+    return ops.mean(diff * diff)
+
+
+def accuracy(logits_or_preds: Union[Tensor, np.ndarray], labels: np.ndarray) -> float:
+    """Fraction of correct argmax predictions."""
+    values = (
+        logits_or_preds.data
+        if isinstance(logits_or_preds, Tensor)
+        else np.asarray(logits_or_preds)
+    )
+    if values.ndim == 2:
+        predictions = np.argmax(values, axis=1)
+    else:
+        predictions = values
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"predictions shape {predictions.shape} does not match labels "
+            f"shape {labels.shape}"
+        )
+    return float(np.mean(predictions == labels))

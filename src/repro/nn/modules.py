@@ -1,0 +1,238 @@
+"""Functional neural-network modules.
+
+A :class:`Model` is a stateless description of an architecture with two
+methods:
+
+* ``init(rng) -> Params`` — create a fresh parameter tree;
+* ``apply(params, x) -> Tensor`` — run the forward pass *at the given
+  parameters*.
+
+Keeping parameters external is essential for meta-learning: the MAML inner
+step evaluates the same model at ``phi = theta - alpha * grad`` while the
+graph stays connected to ``theta``.
+
+Models
+------
+``LogisticRegression``
+    Multinomial logistic regression (the paper's MNIST model and the
+    Synthetic-data model ``y = argmax softmax(Wx + b)``).
+``MLP``
+    Fully connected network with ReLU/tanh nonlinearities and optional batch
+    normalization (the paper's Sent140 head: 3 hidden layers with BN + ReLU).
+``EmbeddingClassifier``
+    Frozen embedding lookup (the GloVe substitute) feeding an MLP head; input
+    is an integer array of token ids shaped ``(batch, seq_len)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+from . import init as initializers
+from .parameters import Params
+
+__all__ = ["Model", "LogisticRegression", "MLP", "EmbeddingClassifier"]
+
+InputArray = Union[np.ndarray, Tensor]
+
+
+def _as_input_tensor(x: InputArray) -> Tensor:
+    if isinstance(x, Tensor):
+        return x
+    return Tensor(np.asarray(x, dtype=np.float64))
+
+
+class Model:
+    """Base class for functional models."""
+
+    #: number of output classes / units
+    output_dim: int
+
+    def init(self, rng: np.random.Generator) -> Params:
+        raise NotImplementedError
+
+    def apply(self, params: Params, x: InputArray) -> Tensor:
+        raise NotImplementedError
+
+    def predict(self, params: Params, x: InputArray) -> np.ndarray:
+        """Hard class predictions (argmax over logits)."""
+        logits = self.apply(params, x)
+        return np.argmax(logits.data, axis=-1)
+
+
+class LogisticRegression(Model):
+    """Multinomial logistic regression: ``logits = x @ W + b``."""
+
+    def __init__(self, input_dim: int, num_classes: int) -> None:
+        if input_dim <= 0 or num_classes <= 1:
+            raise ValueError("input_dim must be >= 1 and num_classes >= 2")
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.output_dim = num_classes
+
+    def init(self, rng: np.random.Generator) -> Params:
+        return {
+            "W": initializers.glorot_uniform(rng, self.input_dim, self.num_classes),
+            "b": initializers.zeros((self.num_classes,)),
+        }
+
+    def apply(self, params: Params, x: InputArray) -> Tensor:
+        x = _as_input_tensor(x)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_dim}), got {x.shape}"
+            )
+        return x @ params["W"] + params["b"]
+
+
+def _batch_norm(
+    h: Tensor, gamma: Tensor, beta: Tensor, epsilon: float = 1e-5
+) -> Tensor:
+    """Batch normalization using batch statistics.
+
+    Batch statistics are used at both train and evaluation time (transductive
+    BN), the standard practice in few-shot meta-learning where adaptation and
+    evaluation batches are tiny.
+    """
+    mu = ops.mean(h, axis=0, keepdims=True)
+    centered = h - mu
+    var = ops.mean(centered * centered, axis=0, keepdims=True)
+    inv_std = ops.power(var + ops.as_tensor(epsilon), -0.5)
+    return centered * inv_std * gamma + beta
+
+
+class MLP(Model):
+    """Fully connected network with configurable hidden layers.
+
+    Parameters
+    ----------
+    input_dim, hidden_dims, num_classes:
+        Architecture sizes, e.g. ``MLP(60, (32,), 10)``.
+    activation:
+        ``"relu"`` or ``"tanh"``.
+    batch_norm:
+        Insert batch normalization before each hidden activation (the paper's
+        Sent140 architecture uses BN + ReLU per hidden layer).
+    """
+
+    _ACTIVATIONS = {"relu": ops.relu, "tanh": ops.tanh}
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        num_classes: int,
+        activation: str = "relu",
+        batch_norm: bool = False,
+    ) -> None:
+        if activation not in self._ACTIVATIONS:
+            raise ValueError(f"unknown activation '{activation}'")
+        self.input_dim = input_dim
+        self.hidden_dims = tuple(int(h) for h in hidden_dims)
+        self.num_classes = num_classes
+        self.output_dim = num_classes
+        self.activation = activation
+        self.batch_norm = batch_norm
+
+    def init(self, rng: np.random.Generator) -> Params:
+        params: Params = {}
+        sizes = (self.input_dim, *self.hidden_dims, self.num_classes)
+        for layer, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            params[f"W{layer}"] = initializers.glorot_uniform(rng, fan_in, fan_out)
+            params[f"b{layer}"] = initializers.zeros((fan_out,))
+            is_hidden = layer < len(self.hidden_dims)
+            if self.batch_norm and is_hidden:
+                params[f"gamma{layer}"] = Tensor(np.ones(fan_out))
+                params[f"beta{layer}"] = initializers.zeros((fan_out,))
+        return params
+
+    def apply(self, params: Params, x: InputArray) -> Tensor:
+        h = _as_input_tensor(x)
+        if h.ndim != 2 or h.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_dim}), got {h.shape}"
+            )
+        act = self._ACTIVATIONS[self.activation]
+        num_layers = len(self.hidden_dims) + 1
+        for layer in range(num_layers):
+            h = h @ params[f"W{layer}"] + params[f"b{layer}"]
+            if layer < len(self.hidden_dims):
+                if self.batch_norm:
+                    h = _batch_norm(h, params[f"gamma{layer}"], params[f"beta{layer}"])
+                h = act(h)
+        return h
+
+
+class EmbeddingClassifier(Model):
+    """Frozen embedding lookup followed by an MLP head.
+
+    This is the reproduction's Sent140 model: the paper embeds each of 25
+    characters into a pretrained 300-D GloVe space (frozen) and feeds the
+    result through dense layers with BN + ReLU.  Without network access we
+    freeze a *random* embedding table instead — the semantics (fixed,
+    non-trainable lookup) are identical.
+
+    Inputs are integer id arrays of shape ``(batch, seq_len)``.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        seq_len: int,
+        hidden_dims: Sequence[int],
+        num_classes: int,
+        batch_norm: bool = True,
+        embedding: Optional[np.ndarray] = None,
+        embedding_seed: int = 0,
+    ) -> None:
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.seq_len = seq_len
+        self.num_classes = num_classes
+        self.output_dim = num_classes
+        if embedding is None:
+            emb_rng = np.random.default_rng(embedding_seed)
+            embedding = emb_rng.normal(0.0, 1.0, size=(vocab_size, embed_dim))
+            embedding /= np.sqrt(embed_dim)
+        if embedding.shape != (vocab_size, embed_dim):
+            raise ValueError(
+                f"embedding must have shape {(vocab_size, embed_dim)}, "
+                f"got {embedding.shape}"
+            )
+        #: frozen table; not part of the trainable parameter tree
+        self.embedding = Tensor(np.asarray(embedding, dtype=np.float64))
+        self.head = MLP(
+            input_dim=seq_len * embed_dim,
+            hidden_dims=hidden_dims,
+            num_classes=num_classes,
+            activation="relu",
+            batch_norm=batch_norm,
+        )
+
+    def init(self, rng: np.random.Generator) -> Params:
+        return self.head.init(rng)
+
+    def embed(self, token_ids: np.ndarray) -> Tensor:
+        """Look up and flatten token embeddings to ``(batch, seq_len*embed_dim)``."""
+        ids = np.asarray(token_ids)
+        if ids.ndim != 2 or ids.shape[1] != self.seq_len:
+            raise ValueError(
+                f"expected ids of shape (batch, {self.seq_len}), got {ids.shape}"
+            )
+        if ids.dtype.kind not in "iu":
+            raise TypeError("token ids must be integers")
+        embedded = ops.getitem(self.embedding, ids)  # (batch, seq, embed)
+        return embedded.reshape((ids.shape[0], self.seq_len * self.embed_dim))
+
+    def apply(self, params: Params, x: InputArray) -> Tensor:
+        if isinstance(x, Tensor):
+            # Already-embedded (continuous) features, e.g. adversarial inputs.
+            return self.head.apply(params, x)
+        x = np.asarray(x)
+        if x.dtype.kind in "iu":
+            return self.head.apply(params, self.embed(x))
+        return self.head.apply(params, x)

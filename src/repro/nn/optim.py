@@ -1,0 +1,132 @@
+"""Optimizers over parameter trees.
+
+Optimizers are stateful objects with a functional ``step`` API::
+
+    params = optimizer.step(params, grads)
+
+``params`` and ``grads`` are ``dict[str, Tensor]`` trees; returned parameters
+are fresh detached leaves.  The local meta-update of FedML (eq. 4) and the
+FedAvg local SGD both use these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .parameters import Params
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class for parameter-tree optimizers."""
+
+    def step(self, params: Params, grads: Params) -> Params:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any accumulated state (momentum buffers etc.)."""
+
+    @staticmethod
+    def _validate(params: Params, grads: Params) -> None:
+        if params.keys() != grads.keys():
+            raise KeyError(
+                f"gradient tree keys {sorted(grads)} do not match parameter "
+                f"tree keys {sorted(params)}"
+            )
+
+
+class SGD(Optimizer):
+    """Vanilla / momentum SGD with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        learning_rate: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Optional[Dict[str, np.ndarray]] = None
+
+    def step(self, params: Params, grads: Params) -> Params:
+        self._validate(params, grads)
+        decay = self.learning_rate * self.weight_decay
+        if self.momentum == 0.0:
+            return {
+                name: Tensor(
+                    (1.0 - decay) * params[name].data
+                    - self.learning_rate * grads[name].data
+                )
+                for name in params
+            }
+        if self._velocity is None:
+            self._velocity = {
+                name: np.zeros_like(t.data) for name, t in params.items()
+            }
+        out: Params = {}
+        for name in params:
+            v = self.momentum * self._velocity[name] + grads[name].data
+            self._velocity[name] = v
+            out[name] = Tensor(
+                (1.0 - decay) * params[name].data - self.learning_rate * v
+            )
+        return out
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: Optional[Dict[str, np.ndarray]] = None
+        self._v: Optional[Dict[str, np.ndarray]] = None
+        self._t = 0
+
+    def step(self, params: Params, grads: Params) -> Params:
+        self._validate(params, grads)
+        if self._m is None:
+            self._m = {name: np.zeros_like(t.data) for name, t in params.items()}
+            self._v = {name: np.zeros_like(t.data) for name, t in params.items()}
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        out: Params = {}
+        for name in params:
+            g = grads[name].data
+            self._m[name] = self.beta1 * self._m[name] + (1 - self.beta1) * g
+            self._v[name] = self.beta2 * self._v[name] + (1 - self.beta2) * g * g
+            m_hat = self._m[name] / bias1
+            v_hat = self._v[name] / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.epsilon)
+            out[name] = Tensor(params[name].data - self.learning_rate * update)
+        return out
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0

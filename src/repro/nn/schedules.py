@@ -1,0 +1,67 @@
+"""Learning-rate schedules.
+
+The paper uses constant rates; schedules are provided for the extension
+experiments (annealed meta-rates stabilize late training when nodes are
+dissimilar).  A schedule is a callable ``step -> learning_rate`` that can be
+polled each iteration and assigned to an optimizer's ``learning_rate``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ConstantSchedule", "StepDecaySchedule", "CosineSchedule"]
+
+
+class ConstantSchedule:
+    """Always returns the base rate."""
+
+    def __init__(self, base: float) -> None:
+        if base <= 0:
+            raise ValueError("base learning rate must be positive")
+        self.base = base
+
+    def __call__(self, step: int) -> float:
+        return self.base
+
+
+class StepDecaySchedule:
+    """Multiply the rate by ``factor`` every ``every`` steps."""
+
+    def __init__(self, base: float, factor: float, every: int) -> None:
+        if base <= 0:
+            raise ValueError("base learning rate must be positive")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.base = base
+        self.factor = factor
+        self.every = every
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        return self.base * self.factor ** (step // self.every)
+
+
+class CosineSchedule:
+    """Cosine annealing from ``base`` to ``floor`` over ``horizon`` steps."""
+
+    def __init__(self, base: float, horizon: int, floor: float = 0.0) -> None:
+        if base <= 0:
+            raise ValueError("base learning rate must be positive")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if not 0.0 <= floor < base:
+            raise ValueError("floor must be in [0, base)")
+        self.base = base
+        self.horizon = horizon
+        self.floor = floor
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        progress = min(1.0, step / self.horizon)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.base - self.floor) * cosine

@@ -1,0 +1,49 @@
+"""Convergence theory toolkit: constant estimation and the paper's bounds."""
+
+from .adaptation_bound import (
+    AdaptationGapEstimate,
+    estimate_gradient_sample_error,
+    surrogate_difference,
+    theorem3_bound,
+)
+from .bounds import (
+    MetaObjectiveConstants,
+    contraction_factor,
+    h_error_term,
+    lemma1_constants,
+    max_inner_learning_rate,
+    max_meta_learning_rate,
+    theorem1_dissimilarity_bound,
+    theorem2_bound,
+    theorem4_lambda_threshold,
+)
+from .estimation import (
+    NodeSimilarity,
+    SmoothnessEstimate,
+    estimate_similarity,
+    estimate_smoothness,
+    hessian_vector_product,
+    loss_gradient_vector,
+)
+
+__all__ = [
+    "AdaptationGapEstimate",
+    "estimate_gradient_sample_error",
+    "surrogate_difference",
+    "theorem3_bound",
+    "MetaObjectiveConstants",
+    "contraction_factor",
+    "h_error_term",
+    "lemma1_constants",
+    "max_inner_learning_rate",
+    "max_meta_learning_rate",
+    "theorem1_dissimilarity_bound",
+    "theorem2_bound",
+    "theorem4_lambda_threshold",
+    "NodeSimilarity",
+    "SmoothnessEstimate",
+    "estimate_similarity",
+    "estimate_smoothness",
+    "hessian_vector_product",
+    "loss_gradient_vector",
+]

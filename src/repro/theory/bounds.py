@@ -1,0 +1,169 @@
+"""The paper's convergence bounds (Lemma 1, Theorems 1–4) as callable code.
+
+These functions let experiments juxtapose *measured* convergence with the
+*predicted* behaviour — e.g. the benches verify that the Theorem-2 error
+term h(T0) is increasing in T0 and in the dissimilarity constants, matching
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MetaObjectiveConstants",
+    "lemma1_constants",
+    "max_inner_learning_rate",
+    "max_meta_learning_rate",
+    "theorem1_dissimilarity_bound",
+    "contraction_factor",
+    "h_error_term",
+    "theorem2_bound",
+    "theorem4_lambda_threshold",
+]
+
+
+@dataclass(frozen=True)
+class MetaObjectiveConstants:
+    """(μ′, H′) of the meta objective G(θ) from Lemma 1."""
+
+    mu_prime: float
+    h_prime: float
+
+    @property
+    def is_strongly_convex(self) -> bool:
+        return self.mu_prime > 0
+
+
+def max_inner_learning_rate(mu: float, smoothness: float, rho: float, b: float) -> float:
+    """Lemma 1 / Theorem 2 condition: α ≤ min{μ/(2μH + ρB), 1/μ}."""
+    _validate_positive(mu=mu, smoothness=smoothness)
+    _validate_nonnegative(rho=rho, b=b)
+    return min(mu / (2.0 * mu * smoothness + rho * b), 1.0 / mu)
+
+
+def lemma1_constants(
+    alpha: float, mu: float, smoothness: float, rho: float, b: float
+) -> MetaObjectiveConstants:
+    """μ′ = μ(1 − αH)² − αρB and H′ = H(1 − αμ)² + αρB."""
+    _validate_positive(alpha=alpha, mu=mu, smoothness=smoothness)
+    _validate_nonnegative(rho=rho, b=b)
+    mu_prime = mu * (1.0 - alpha * smoothness) ** 2 - alpha * rho * b
+    h_prime = smoothness * (1.0 - alpha * mu) ** 2 + alpha * rho * b
+    return MetaObjectiveConstants(mu_prime=mu_prime, h_prime=h_prime)
+
+
+def max_meta_learning_rate(constants: MetaObjectiveConstants) -> float:
+    """Theorem 2 condition: β < min{1/(2μ′), 2/H′}."""
+    if not constants.is_strongly_convex:
+        raise ValueError(
+            "meta objective is not strongly convex (μ' <= 0); decrease alpha"
+        )
+    return min(1.0 / (2.0 * constants.mu_prime), 2.0 / constants.h_prime)
+
+
+def theorem1_dissimilarity_bound(
+    alpha: float,
+    smoothness: float,
+    b: float,
+    delta_i: float,
+    sigma_i: float,
+    tau: float,
+    c: float = 2.0,
+) -> float:
+    """‖∇G_i − ∇G‖ ≤ δ_i + αC(Hδ_i + Bσ_i + τ).
+
+    ``c`` is the constant C from Theorem 1 (the proof exhibits C ≈ 2 for
+    small α; it is exposed so sensitivity can be explored).
+    """
+    _validate_nonnegative(
+        alpha=alpha, smoothness=smoothness, b=b, delta_i=delta_i,
+        sigma_i=sigma_i, tau=tau,
+    )
+    return delta_i + alpha * c * (smoothness * delta_i + b * sigma_i + tau)
+
+
+def contraction_factor(beta: float, constants: MetaObjectiveConstants) -> float:
+    """ξ = 1 − 2βμ′(1 − H′β/2); convergence requires ξ ∈ (0, 1)."""
+    _validate_positive(beta=beta)
+    xi = 1.0 - 2.0 * beta * constants.mu_prime * (1.0 - constants.h_prime * beta / 2.0)
+    return xi
+
+
+def h_error_term(
+    t0: int,
+    alpha: float,
+    beta: float,
+    constants: MetaObjectiveConstants,
+    smoothness: float,
+    b: float,
+    delta: float,
+    sigma: float,
+    tau: float,
+    c: float = 2.0,
+) -> float:
+    """h(T0) of Theorem 2 — the local-update / dissimilarity error term.
+
+    h(x) = (α′ / βH′)[(1 + βH′)^x − 1] − α′x with
+    α′ = β[δ + αC(Hδ + Bσ + τ)].  Note h(1) = 0: with one local step per
+    round the extra error vanishes (Corollary 1).
+    """
+    if t0 < 1:
+        raise ValueError("t0 must be >= 1")
+    alpha_prime = beta * (
+        delta + alpha * c * (smoothness * delta + b * sigma + tau)
+    )
+    bh = beta * constants.h_prime
+    return (alpha_prime / bh) * ((1.0 + bh) ** t0 - 1.0) - alpha_prime * t0
+
+
+def theorem2_bound(
+    total_iterations: int,
+    t0: int,
+    initial_gap: float,
+    alpha: float,
+    beta: float,
+    mu: float,
+    constants: MetaObjectiveConstants,
+    smoothness: float,
+    b: float,
+    delta: float,
+    sigma: float,
+    tau: float,
+    c: float = 2.0,
+) -> float:
+    """G(θ^T) − G(θ*) ≤ ξ^T [G(θ⁰) − G(θ*)] + B(1 − αμ)/(1 − ξ^T0) · h(T0)."""
+    if total_iterations < 1:
+        raise ValueError("total_iterations must be >= 1")
+    xi = contraction_factor(beta, constants)
+    if not 0.0 < xi < 1.0:
+        raise ValueError(f"contraction factor ξ={xi:.4f} outside (0, 1)")
+    h = h_error_term(
+        t0, alpha, beta, constants, smoothness, b, delta, sigma, tau, c=c
+    )
+    transient = xi**total_iterations * initial_gap
+    if t0 == 1:
+        return transient  # Corollary 1
+    steady = b * (1.0 - alpha * mu) / (1.0 - xi**t0) * h
+    return transient + steady
+
+
+def theorem4_lambda_threshold(
+    h_xx: float, h_theta_x: float, h_x_theta: float, mu: float
+) -> float:
+    """Theorem 4: λ ≥ H_xx + H_θx·H_xθ/μ makes the robust objective well posed."""
+    _validate_positive(mu=mu)
+    _validate_nonnegative(h_xx=h_xx, h_theta_x=h_theta_x, h_x_theta=h_x_theta)
+    return h_xx + h_theta_x * h_x_theta / mu
+
+
+def _validate_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+def _validate_nonnegative(**values: float) -> None:
+    for name, value in values.items():
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")

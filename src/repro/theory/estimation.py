@@ -1,0 +1,233 @@
+"""Empirical estimation of the constants in Assumptions 1–4.
+
+The paper's convergence theory is phrased in terms of per-node loss
+constants — strong convexity μ, smoothness H, gradient bound B, Hessian
+Lipschitz constant ρ — and node-similarity constants δ_i, σ_i bounding
+‖∇L_i − ∇L_w‖ and ‖∇²L_i − ∇²L_w‖.  None of these are observable in closed
+form for real models, so this module estimates them by sampling parameter
+points and probing Hessians with Hessian-vector products (computed exactly
+via double backward — no finite differencing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..autodiff import grad
+from ..data.dataset import Dataset
+from ..nn.losses import cross_entropy
+from ..nn.modules import Model
+from ..nn.parameters import Params, from_vector, require_grad, to_vector
+
+__all__ = [
+    "loss_gradient_vector",
+    "hessian_vector_product",
+    "SmoothnessEstimate",
+    "estimate_smoothness",
+    "NodeSimilarity",
+    "estimate_similarity",
+]
+
+
+def _loss_at(
+    model: Model, params: Params, data: Dataset, loss_fn=cross_entropy
+):
+    return loss_fn(model.apply(params, data.x), data.y)
+
+
+def loss_gradient_vector(
+    model: Model,
+    params: Params,
+    data: Dataset,
+    loss_fn=cross_entropy,
+) -> np.ndarray:
+    """``∇L(θ, D)`` flattened to a vector (sorted-key order)."""
+    theta = require_grad(params)
+    loss = _loss_at(model, theta, data, loss_fn)
+    names = sorted(theta)
+    grads = grad(loss, [theta[n] for n in names], allow_unused=True)
+    pieces = []
+    for name, g in zip(names, grads):
+        if g is None:
+            pieces.append(np.zeros(theta[name].size))
+        else:
+            pieces.append(g.data.reshape(-1))
+    return np.concatenate(pieces)
+
+
+def hessian_vector_product(
+    model: Model,
+    params: Params,
+    data: Dataset,
+    vector: np.ndarray,
+    loss_fn=cross_entropy,
+) -> np.ndarray:
+    """Exact ``∇²L(θ, D) · v`` via reverse-over-reverse autodiff."""
+    theta = require_grad(params)
+    names = sorted(theta)
+    loss = _loss_at(model, theta, data, loss_fn)
+    grads = grad(loss, [theta[n] for n in names], create_graph=True, allow_unused=True)
+    v_tree = from_vector(np.asarray(vector, dtype=np.float64), params)
+    inner = None
+    for name, g in zip(names, grads):
+        if g is None:
+            continue
+        term = (g * v_tree[name]).sum()
+        inner = term if inner is None else inner + term
+    if inner is None:
+        return np.zeros_like(np.asarray(vector, dtype=np.float64))
+    hv = grad(inner, [theta[n] for n in names], allow_unused=True)
+    pieces = []
+    for name, h in zip(names, hv):
+        if h is None:
+            pieces.append(np.zeros(theta[name].size))
+        else:
+            pieces.append(h.data.reshape(-1))
+    return np.concatenate(pieces)
+
+
+@dataclass(frozen=True)
+class SmoothnessEstimate:
+    """Empirical (μ, H, B, ρ) for one loss landscape."""
+
+    mu: float
+    smoothness: float
+    gradient_bound: float
+    hessian_lipschitz: float
+
+
+def estimate_smoothness(
+    model: Model,
+    data: Dataset,
+    rng: np.random.Generator,
+    num_points: int = 8,
+    num_probes: int = 4,
+    radius: float = 1.0,
+    loss_fn=cross_entropy,
+) -> SmoothnessEstimate:
+    """Estimate Assumption 1–3 constants by random sampling.
+
+    Samples parameter pairs in a ball of ``radius`` around a fresh
+    initialization, then takes the extremal observed ratios.  Estimates are
+    (probabilistic) lower bounds on H, ρ, B and an upper bound on μ — enough
+    to sanity-check learning-rate conditions and relative orderings.
+    """
+    base = model.init(rng)
+    dim = to_vector(base).size
+    points: List[np.ndarray] = [
+        to_vector(base) + rng.normal(0.0, radius / np.sqrt(dim), size=dim)
+        for _ in range(num_points)
+    ]
+    grads = [
+        loss_gradient_vector(model, from_vector(p, base), data, loss_fn)
+        for p in points
+    ]
+
+    mu = np.inf
+    smoothness = 0.0
+    gradient_bound = max(float(np.linalg.norm(g)) for g in grads)
+    for i in range(num_points):
+        for j in range(i + 1, num_points):
+            dp = points[i] - points[j]
+            dg = grads[i] - grads[j]
+            dist_sq = float(dp @ dp)
+            if dist_sq < 1e-18:
+                continue
+            smoothness = max(
+                smoothness, float(np.linalg.norm(dg)) / np.sqrt(dist_sq)
+            )
+            mu = min(mu, float(dg @ dp) / dist_sq)
+
+    hessian_lipschitz = 0.0
+    for i in range(min(num_points - 1, 4)):
+        p, q = points[i], points[i + 1]
+        dist = float(np.linalg.norm(p - q))
+        if dist < 1e-12:
+            continue
+        for _ in range(num_probes):
+            v = rng.normal(size=dim)
+            v /= np.linalg.norm(v)
+            hv_p = hessian_vector_product(
+                model, from_vector(p, base), data, v, loss_fn
+            )
+            hv_q = hessian_vector_product(
+                model, from_vector(q, base), data, v, loss_fn
+            )
+            hessian_lipschitz = max(
+                hessian_lipschitz, float(np.linalg.norm(hv_p - hv_q)) / dist
+            )
+
+    return SmoothnessEstimate(
+        mu=float(max(mu, 0.0)),
+        smoothness=float(smoothness),
+        gradient_bound=gradient_bound,
+        hessian_lipschitz=float(hessian_lipschitz),
+    )
+
+
+@dataclass(frozen=True)
+class NodeSimilarity:
+    """Empirical Assumption-4 constants across a node population."""
+
+    delta: np.ndarray  # per-node ‖∇L_i − ∇L_w‖
+    sigma: np.ndarray  # per-node ‖(∇²L_i − ∇²L_w) v‖ (probed operator norm)
+
+    @property
+    def delta_mean(self) -> float:
+        return float(np.mean(self.delta))
+
+    @property
+    def sigma_mean(self) -> float:
+        return float(np.mean(self.sigma))
+
+    def weighted(self, weights: Sequence[float]) -> tuple:
+        """(δ, σ, τ) = (Σωδ_i, Σωσ_i, Σωδ_iσ_i) as used by Theorems 1–2."""
+        w = np.asarray(weights, dtype=np.float64)
+        w = w / w.sum()
+        delta = float(w @ self.delta)
+        sigma = float(w @ self.sigma)
+        tau = float(w @ (self.delta * self.sigma))
+        return delta, sigma, tau
+
+
+def estimate_similarity(
+    model: Model,
+    params: Params,
+    node_datasets: Sequence[Dataset],
+    weights: Sequence[float],
+    rng: np.random.Generator,
+    num_probes: int = 4,
+    loss_fn=cross_entropy,
+) -> NodeSimilarity:
+    """Estimate δ_i and σ_i at a parameter point θ.
+
+    ``∇L_w`` / ``∇²L_w`` are the ω-weighted averages over the node
+    population (eq. 2); the Hessian dissimilarity is probed with random unit
+    vectors, giving a lower bound on the operator norm.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    w = w / w.sum()
+
+    node_grads = [
+        loss_gradient_vector(model, params, data, loss_fn) for data in node_datasets
+    ]
+    mean_grad = np.sum([wi * g for wi, g in zip(w, node_grads)], axis=0)
+    delta = np.array([np.linalg.norm(g - mean_grad) for g in node_grads])
+
+    dim = mean_grad.size
+    probes = [rng.normal(size=dim) for _ in range(num_probes)]
+    probes = [v / np.linalg.norm(v) for v in probes]
+    sigma = np.zeros(len(node_datasets))
+    for v in probes:
+        node_hvs = [
+            hessian_vector_product(model, params, data, v, loss_fn)
+            for data in node_datasets
+        ]
+        mean_hv = np.sum([wi * h for wi, h in zip(w, node_hvs)], axis=0)
+        for i, h in enumerate(node_hvs):
+            sigma[i] = max(sigma[i], float(np.linalg.norm(h - mean_hv)))
+
+    return NodeSimilarity(delta=delta, sigma=sigma)

@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG streams, serialization, logging."""
+
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .logging import RunLogger
+from .rng import RngFactory, spawn
+from .serialization import deserialize_params, payload_bytes, serialize_params
+
+__all__ = [
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "RunLogger",
+    "RngFactory",
+    "spawn",
+    "deserialize_params",
+    "payload_bytes",
+    "serialize_params",
+]

@@ -1,0 +1,67 @@
+"""Run checkpointing.
+
+Edge training runs are long and interruptible; a checkpoint captures the
+global model plus arbitrary JSON-serializable run state (round counters,
+config echoes) in a single self-describing file so a run can resume or be
+audited later.
+
+Format: a JSON header (length-prefixed) followed by the parameter blob from
+:mod:`repro.utils.serialization`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..nn.parameters import Params
+from .serialization import deserialize_params, serialize_params
+
+__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint"]
+
+_MAGIC = b"RPCK"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A restored checkpoint."""
+
+    params: Params
+    state: Dict
+
+    @property
+    def iteration(self) -> Optional[int]:
+        value = self.state.get("iteration")
+        return None if value is None else int(value)
+
+
+def save_checkpoint(path: str, params: Params, state: Optional[Dict] = None) -> None:
+    """Write a checkpoint atomically (tmp file + rename)."""
+    state = dict(state or {})
+    header = json.dumps(state, sort_keys=True).encode("utf-8")
+    payload = serialize_params(params)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HI", _VERSION, len(header)))
+        handle.write(header)
+        handle.write(payload)
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        version, header_len = struct.unpack("<HI", handle.read(6))
+        if version != _VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        state = json.loads(handle.read(header_len).decode("utf-8"))
+        params = deserialize_params(handle.read())
+    return Checkpoint(params=params, state=state)

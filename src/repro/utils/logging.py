@@ -1,0 +1,57 @@
+"""Lightweight structured logging for training runs.
+
+A :class:`RunLogger` collects ``(step, metrics)`` records and can render a
+compact text table — enough for the benchmark harness to print the series a
+paper figure reports without pulling in a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["RunLogger"]
+
+
+class RunLogger:
+    """Accumulates per-step metric dictionaries."""
+
+    def __init__(self, name: str = "run", verbose: bool = False) -> None:
+        self.name = name
+        self.verbose = verbose
+        self.records: List[Dict[str, float]] = []
+
+    def log(self, step: int, **metrics: float) -> None:
+        record = {"step": float(step)}
+        record.update({k: float(v) for k, v in metrics.items()})
+        self.records.append(record)
+        if self.verbose:
+            rendered = ", ".join(f"{k}={v:.4f}" for k, v in metrics.items())
+            print(f"[{self.name}] step {step}: {rendered}")
+
+    def series(self, key: str) -> List[float]:
+        """Extract the time series for one metric (skipping absent steps)."""
+        return [r[key] for r in self.records if key in r]
+
+    def steps(self, key: Optional[str] = None) -> List[int]:
+        if key is None:
+            return [int(r["step"]) for r in self.records]
+        return [int(r["step"]) for r in self.records if key in r]
+
+    def last(self, key: str) -> float:
+        values = self.series(key)
+        if not values:
+            raise KeyError(f"no records for metric '{key}'")
+        return values[-1]
+
+    def table(self, keys: Sequence[str], max_rows: int = 20) -> str:
+        """Render selected metrics as an aligned text table."""
+        rows = [r for r in self.records if all(k in r for k in keys)]
+        if len(rows) > max_rows:
+            stride = max(1, len(rows) // max_rows)
+            rows = rows[::stride] + ([rows[-1]] if rows[-1] not in rows[::stride] else [])
+        header = ["step"] + list(keys)
+        lines = ["  ".join(f"{h:>12}" for h in header)]
+        for r in rows:
+            cells = [f"{int(r['step']):>12d}"] + [f"{r[k]:>12.5f}" for k in keys]
+            lines.append("  ".join(cells))
+        return "\n".join(lines)

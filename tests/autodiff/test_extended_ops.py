@@ -1,0 +1,104 @@
+"""Tests for the extended op set: max/min reductions, where, stack."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, grad, ops
+
+RNG = np.random.default_rng(11)
+
+
+class TestMaxMin:
+    def test_max_forward(self):
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            ops.max_(Tensor(x), axis=1).data, x.max(axis=1)
+        )
+        np.testing.assert_allclose(ops.max_(Tensor(x)).data, x.max())
+
+    def test_min_forward(self):
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            ops.min_(Tensor(x), axis=0).data, x.min(axis=0)
+        )
+
+    def test_max_gradient_hits_argmax_only(self):
+        x = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        (g,) = grad(ops.max_(x), [x])
+        np.testing.assert_allclose(g.data, [0.0, 1.0, 0.0])
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor(np.array([5.0, 5.0, 3.0]), requires_grad=True)
+        (g,) = grad(ops.max_(x), [x])
+        np.testing.assert_allclose(g.data, [0.5, 0.5, 0.0])
+
+    def test_max_axis_gradient_finite_difference(self):
+        x = RNG.normal(size=(3, 4))
+        # Perturb-safe: ensure unique maxima so FD is valid.
+        x += np.arange(12).reshape(3, 4) * 0.01
+        check_gradients(lambda a: ops.max_(a, axis=1).sum(), [x])
+
+    def test_min_gradient_finite_difference(self):
+        x = RNG.normal(size=(5,))
+        x += np.arange(5) * 0.01
+        check_gradients(lambda a: ops.min_(a).sum(), [x])
+
+    def test_max_keepdims_shape(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        assert ops.max_(x, axis=1, keepdims=True).shape == (3, 1)
+
+
+class TestWhere:
+    def test_forward(self):
+        cond = np.array([True, False, True])
+        out = ops.where(cond, Tensor([1.0, 2.0, 3.0]), Tensor([9.0, 9.0, 9.0]))
+        np.testing.assert_allclose(out.data, [1.0, 9.0, 3.0])
+
+    def test_gradients_route_by_condition(self):
+        cond = np.array([True, False])
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        ga, gb = grad(ops.where(cond, a, b).sum(), [a, b])
+        np.testing.assert_allclose(ga.data, [1.0, 0.0])
+        np.testing.assert_allclose(gb.data, [0.0, 1.0])
+
+    def test_gradient_finite_difference(self):
+        cond = RNG.normal(size=(4,)) > 0
+        check_gradients(
+            lambda a, b: (ops.where(cond, a, b) ** 2).sum(),
+            [RNG.normal(size=(4,)), RNG.normal(size=(4,))],
+        )
+
+
+class TestStack:
+    def test_forward_matches_numpy(self):
+        arrays = [RNG.normal(size=(2, 3)) for _ in range(4)]
+        out = ops.stack([Tensor(a) for a in arrays], axis=0)
+        np.testing.assert_allclose(out.data, np.stack(arrays, axis=0))
+
+    def test_stack_axis_one(self):
+        arrays = [RNG.normal(size=(2,)) for _ in range(3)]
+        out = ops.stack([Tensor(a) for a in arrays], axis=1)
+        assert out.shape == (2, 3)
+
+    def test_gradient_splits_back(self):
+        a = Tensor(RNG.normal(size=(2,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2,)), requires_grad=True)
+        stacked = ops.stack([a, b], axis=0)
+        ga, gb = grad((stacked * stacked).sum(), [a, b])
+        np.testing.assert_allclose(ga.data, 2 * a.data)
+        np.testing.assert_allclose(gb.data, 2 * b.data)
+
+    def test_gradient_finite_difference(self):
+        check_gradients(
+            lambda a, b: (ops.stack([a, b], axis=1) ** 2).sum(),
+            [RNG.normal(size=(3,)), RNG.normal(size=(3,))],
+        )
+
+    def test_second_order_through_max(self):
+        """max is piecewise linear: second derivative zero away from ties."""
+        x = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        (g,) = grad(ops.max_(x * x), [x], create_graph=True)
+        (gg,) = grad(g.sum(), [x], allow_unused=True)
+        # d/dx max(x^2) = 2x at argmax; second derivative = 2 at argmax.
+        np.testing.assert_allclose(gg.data, [0.0, 2.0, 0.0])

@@ -1,0 +1,208 @@
+"""Per-op tests: forward values against NumPy, gradients against finite
+differences (via repro.autodiff.check)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, grad, ops
+
+RNG = np.random.default_rng(42)
+
+
+class TestForwardValues:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        expected = np.broadcast_to(np.array([2.0, 3.0, 4.0]), (2, 3))
+        np.testing.assert_allclose((a + b).data, expected)
+
+    def test_sub(self):
+        np.testing.assert_allclose(
+            (Tensor([3.0]) - Tensor([1.0])).data, [2.0]
+        )
+
+    def test_div(self):
+        np.testing.assert_allclose(
+            (Tensor([6.0]) / Tensor([2.0])).data, [3.0]
+        )
+
+    def test_exp_log_roundtrip(self):
+        x = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(ops.log(ops.exp(Tensor(x))).data, x)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(ops.sqrt(Tensor([4.0])).data, [2.0])
+
+    def test_relu(self):
+        np.testing.assert_allclose(
+            ops.relu(Tensor([-1.0, 0.0, 2.0])).data, [0.0, 0.0, 2.0]
+        )
+
+    def test_abs(self):
+        np.testing.assert_allclose(
+            ops.abs_(Tensor([-1.5, 2.0])).data, [1.5, 2.0]
+        )
+
+    def test_clip(self):
+        np.testing.assert_allclose(
+            ops.clip(Tensor([-2.0, 0.5, 3.0]), 0.0, 1.0).data, [0.0, 0.5, 1.0]
+        )
+
+    def test_sigmoid_at_zero(self):
+        assert ops.sigmoid(Tensor(0.0)).item() == pytest.approx(0.5)
+
+    def test_tanh_matches_numpy(self):
+        x = RNG.normal(size=5)
+        np.testing.assert_allclose(ops.tanh(Tensor(x)).data, np.tanh(x))
+
+    def test_matmul_matches_numpy(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 2))
+        np.testing.assert_allclose(
+            ops.matmul(Tensor(a), Tensor(b)).data, a @ b
+        )
+
+    def test_matmul_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ops.matmul(Tensor(np.zeros(3)), Tensor(np.zeros((3, 2))))
+
+    def test_sum_axis_keepdims(self):
+        x = RNG.normal(size=(2, 3))
+        out = ops.sum_(Tensor(x), axis=1, keepdims=True)
+        np.testing.assert_allclose(out.data, x.sum(axis=1, keepdims=True))
+
+    def test_sum_negative_axis(self):
+        x = RNG.normal(size=(2, 3))
+        np.testing.assert_allclose(
+            ops.sum_(Tensor(x), axis=-1).data, x.sum(axis=-1)
+        )
+
+    def test_mean_matches_numpy(self):
+        x = RNG.normal(size=(4, 5))
+        np.testing.assert_allclose(
+            ops.mean(Tensor(x), axis=0).data, x.mean(axis=0)
+        )
+
+    def test_reshape_transpose(self):
+        x = RNG.normal(size=(2, 6))
+        np.testing.assert_allclose(
+            ops.reshape(Tensor(x), (3, 4)).data, x.reshape(3, 4)
+        )
+        np.testing.assert_allclose(
+            ops.transpose(Tensor(x)).data, x.T
+        )
+
+    def test_transpose_with_axes(self):
+        x = RNG.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(
+            ops.transpose(Tensor(x), (2, 0, 1)).data, np.transpose(x, (2, 0, 1))
+        )
+
+    def test_broadcast_to(self):
+        x = Tensor(np.array([1.0, 2.0]))
+        out = ops.broadcast_to(x, (3, 2))
+        assert out.shape == (3, 2)
+
+    def test_concatenate(self):
+        a, b = RNG.normal(size=(2, 3)), RNG.normal(size=(1, 3))
+        np.testing.assert_allclose(
+            ops.concatenate([Tensor(a), Tensor(b)], axis=0).data,
+            np.concatenate([a, b], axis=0),
+        )
+
+    def test_logsumexp_stability(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        out = ops.logsumexp(x, axis=1)
+        np.testing.assert_allclose(out.data, [1000.0 + np.log(2.0)])
+
+    def test_log_softmax_normalizes(self):
+        x = RNG.normal(size=(3, 5))
+        probs = np.exp(ops.log_softmax(Tensor(x), axis=1).data)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(3))
+
+    def test_softmax_matches_scipy(self):
+        from scipy.special import softmax as scipy_softmax
+
+        x = RNG.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            ops.softmax(Tensor(x), axis=1).data, scipy_softmax(x, axis=1)
+        )
+
+    def test_getitem_fancy_index(self):
+        x = RNG.normal(size=(5, 4))
+        idx = np.array([0, 0, 3])
+        np.testing.assert_allclose(ops.getitem(Tensor(x), idx).data, x[idx])
+
+    def test_norm_sq(self):
+        x = RNG.normal(size=7)
+        assert ops.norm_sq(Tensor(x)).item() == pytest.approx(float(x @ x))
+
+
+class TestGradientsAgainstFiniteDifferences:
+    @pytest.mark.parametrize(
+        "name,fn,shapes",
+        [
+            ("add", lambda a, b: (a + b).sum(), [(3, 2), (3, 2)]),
+            ("add_broadcast", lambda a, b: (a + b).sum(), [(3, 2), (2,)]),
+            ("sub", lambda a, b: (a - b).mean(), [(4,), (4,)]),
+            ("mul", lambda a, b: (a * b).sum(), [(2, 2), (2, 2)]),
+            ("mul_broadcast", lambda a, b: (a * b).sum(), [(3, 4), (1, 4)]),
+            ("div", lambda a, b: (a / b).sum(), [(3,), (3,)]),
+            ("power3", lambda a: (a**3).sum(), [(4,)]),
+            ("matmul", lambda a, b: (a @ b).sum(), [(3, 4), (4, 2)]),
+            ("sum_axis", lambda a: a.sum(axis=0).sum(), [(3, 4)]),
+            ("mean_keep", lambda a: a.mean(axis=1, keepdims=True).sum(), [(3, 4)]),
+            ("reshape", lambda a: (a.reshape(6) * a.reshape(6)).sum(), [(2, 3)]),
+            ("transpose", lambda a: (a.T @ a).sum(), [(3, 2)]),
+            ("tanh", lambda a: ops.tanh(a).sum(), [(5,)]),
+            ("sigmoid", lambda a: ops.sigmoid(a).sum(), [(5,)]),
+            ("exp", lambda a: ops.exp(a).sum(), [(4,)]),
+            ("logsumexp", lambda a: ops.logsumexp(a, axis=1).sum(), [(3, 4)]),
+            ("log_softmax", lambda a: ops.log_softmax(a, axis=1).sum(), [(2, 5)]),
+            ("softmax_pick", lambda a: ops.softmax(a, axis=1)[0].sum(), [(2, 5)]),
+            ("broadcast_to", lambda a: ops.broadcast_to(a, (4, 3)).sum(), [(3,)]),
+            ("norm_sq", lambda a: ops.norm_sq(a), [(6,)]),
+        ],
+    )
+    def test_gradient(self, name, fn, shapes):
+        args = [RNG.normal(size=s) for s in shapes]
+        check_gradients(fn, args)
+
+    def test_log_gradient_positive_domain(self):
+        check_gradients(
+            lambda a: ops.log(a).sum(), [RNG.uniform(0.5, 2.0, size=(4,))]
+        )
+
+    def test_sqrt_gradient_positive_domain(self):
+        check_gradients(
+            lambda a: ops.sqrt(a).sum(), [RNG.uniform(0.5, 2.0, size=(4,))]
+        )
+
+    def test_relu_gradient_away_from_kink(self):
+        x = RNG.normal(size=(6,))
+        x[np.abs(x) < 0.1] = 0.5  # avoid the nondifferentiable point
+        check_gradients(lambda a: ops.relu(a).sum(), [x])
+
+    def test_abs_gradient_away_from_zero(self):
+        x = RNG.normal(size=(6,))
+        x[np.abs(x) < 0.1] = 0.5
+        check_gradients(lambda a: ops.abs_(a).sum(), [x])
+
+    def test_getitem_gradient_scatter_adds_duplicates(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        idx = np.array([1, 1, 2])
+        (g,) = grad(ops.getitem(x, idx).sum(), [x])
+        np.testing.assert_allclose(g.data, [0.0, 2.0, 1.0, 0.0])
+
+    def test_concatenate_gradient(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(1, 3)), requires_grad=True)
+        out = ops.concatenate([a, b], axis=0)
+        ga, gb = grad((out * out).sum(), [a, b])
+        np.testing.assert_allclose(ga.data, 2 * a.data)
+        np.testing.assert_allclose(gb.data, 2 * b.data)
+
+    def test_clip_gradient_masks_out_of_range(self):
+        x = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        (g,) = grad(ops.clip(x, 0.0, 1.0).sum(), [x])
+        np.testing.assert_allclose(g.data, [0.0, 1.0, 0.0])

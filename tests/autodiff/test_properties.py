@@ -1,0 +1,100 @@
+"""Hypothesis property tests for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, grad, ops
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_dims=2, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    (g,) = grad(t.sum(), [t])
+    np.testing.assert_array_equal(g.data, np.ones_like(x))
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_linearity_of_gradient(x):
+    """grad of (3f + 2h) equals 3 grad f + 2 grad h for f=sum, h=sum of squares."""
+    t = Tensor(x, requires_grad=True)
+    combined = 3.0 * t.sum() + 2.0 * (t * t).sum()
+    (g,) = grad(combined, [t])
+    np.testing.assert_allclose(g.data, 3.0 + 4.0 * x, rtol=1e-10, atol=1e-10)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_mul_gradient_symmetry(x):
+    """d(a*b)/da evaluated at a=b=x equals x for both operands."""
+    a = Tensor(x, requires_grad=True)
+    b = Tensor(x, requires_grad=True)
+    ga, gb = grad((a * b).sum(), [a, b])
+    np.testing.assert_allclose(ga.data, x)
+    np.testing.assert_allclose(gb.data, x)
+
+
+@given(small_arrays(max_dims=1), small_arrays(max_dims=1))
+@settings(max_examples=40, deadline=None)
+def test_add_commutes_in_values_and_grads(x, y):
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    a1, b1 = Tensor(x, requires_grad=True), Tensor(y, requires_grad=True)
+    a2, b2 = Tensor(x, requires_grad=True), Tensor(y, requires_grad=True)
+    g1 = grad(((a1 + b1) ** 2).sum(), [a1, b1])
+    g2 = grad(((b2 + a2) ** 2).sum(), [a2, b2])
+    np.testing.assert_allclose(g1[0].data, g2[0].data)
+    np.testing.assert_allclose(g1[1].data, g2[1].data)
+
+
+@given(
+    arrays(np.float64, (3, 4), elements=finite_floats),
+    st.integers(min_value=0, max_value=1),
+)
+@settings(max_examples=30, deadline=None)
+def test_sum_then_sum_equals_full_sum_gradient(x, axis):
+    t = Tensor(x, requires_grad=True)
+    (g,) = grad(t.sum(axis=axis).sum(), [t])
+    np.testing.assert_array_equal(g.data, np.ones_like(x))
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_detach_blocks_gradient(x):
+    t = Tensor(x, requires_grad=True)
+    blocked = (t * t).detach()
+    out = (blocked * 1.0).sum() + t.sum()
+    (g,) = grad(out, [t])
+    np.testing.assert_array_equal(g.data, np.ones_like(x))
+
+
+@given(arrays(np.float64, (2, 3), elements=finite_floats))
+@settings(max_examples=30, deadline=None)
+def test_softmax_rows_are_distributions(x):
+    out = ops.softmax(Tensor(x), axis=1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(2), rtol=1e-9)
+
+
+@given(arrays(np.float64, (4,), elements=finite_floats))
+@settings(max_examples=30, deadline=None)
+def test_broadcast_then_unbroadcast_gradient_counts_uses(x):
+    t = Tensor(x, requires_grad=True)
+    wide = ops.broadcast_to(t, (5, 4))
+    (g,) = grad(wide.sum(), [t])
+    np.testing.assert_array_equal(g.data, np.full(4, 5.0))

@@ -1,0 +1,115 @@
+"""Second-order (double-backward) correctness — the property MAML relies on."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_second_order, grad, ops
+
+RNG = np.random.default_rng(7)
+
+
+class TestHessians:
+    @pytest.mark.parametrize(
+        "name,fn,size",
+        [
+            ("cubic", lambda x: (x * x * x).sum(), 4),
+            ("tanh_x", lambda x: (ops.tanh(x) * x).sum(), 4),
+            ("sigmoid", lambda x: ops.sigmoid(x).sum(), 3),
+            ("exp", lambda x: ops.exp(x).sum(), 3),
+            ("log", lambda x: ops.log(x * x + ops.as_tensor(1.0)).sum(), 3),
+            (
+                "logsumexp",
+                lambda x: ops.logsumexp(x.reshape(1, -1), axis=1).sum(),
+                5,
+            ),
+            ("power", lambda x: ((x * x) ** 2).sum(), 3),
+            ("div", lambda x: (ops.as_tensor(1.0) / (x * x + 1.0)).sum(), 3),
+        ],
+    )
+    def test_hessian_matches_finite_difference(self, name, fn, size):
+        check_second_order(fn, RNG.normal(size=size))
+
+    def test_quadratic_hessian_exact(self):
+        a = RNG.normal(size=(4, 4))
+        a = a @ a.T + np.eye(4)
+
+        def f(x):
+            q = x.reshape(1, -1)
+            return ((q @ Tensor(a)) @ q.T).reshape(()) * 0.5
+
+        x = Tensor(RNG.normal(size=4), requires_grad=True)
+        (g,) = grad(f(x), [x], create_graph=True)
+        rows = []
+        for i in range(4):
+            seed = np.zeros(4)
+            seed[i] = 1.0
+            (row,) = grad(g, [x], grad_output=Tensor(seed), allow_unused=True)
+            rows.append(row.data)
+        np.testing.assert_allclose(np.stack(rows), a, atol=1e-10)
+
+    def test_third_order_derivative(self):
+        # d^3/dx^3 x^4 = 24 x
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x**4).sum()
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1.sum(), [x], create_graph=True)
+        (g3,) = grad(g2.sum(), [x])
+        np.testing.assert_allclose(g3.data, [48.0])
+
+
+class TestMamlMetaGradient:
+    """Closed-form validation of the quadratic-loss MAML meta-gradient."""
+
+    def _quadratics(self):
+        a1 = RNG.normal(size=(5, 5))
+        a1 = a1 @ a1.T / 5 + np.eye(5)
+        a2 = RNG.normal(size=(5, 5))
+        a2 = a2 @ a2.T / 5 + np.eye(5)
+        b1 = RNG.normal(size=5)
+        b2 = RNG.normal(size=5)
+        return a1, b1, a2, b2
+
+    @staticmethod
+    def _loss(theta, a, b):
+        q = theta.reshape(1, -1)
+        quad = ((q @ Tensor(a)) @ q.T).reshape(()) * 0.5
+        lin = (q @ Tensor(b.reshape(-1, 1))).reshape(())
+        return quad + lin
+
+    def test_exact_meta_gradient(self):
+        a1, b1, a2, b2 = self._quadratics()
+        alpha = 0.07
+        theta = Tensor(RNG.normal(size=5), requires_grad=True)
+        (g_inner,) = grad(self._loss(theta, a1, b1), [theta], create_graph=True)
+        phi = theta - alpha * g_inner
+        (meta_g,) = grad(self._loss(phi, a2, b2), [theta])
+        # Analytic: (I - alpha*A1) @ (A2 phi + b2)
+        phi_np = theta.data - alpha * (a1 @ theta.data + b1)
+        expected = (np.eye(5) - alpha * a1) @ (a2 @ phi_np + b2)
+        np.testing.assert_allclose(meta_g.data, expected, rtol=1e-10)
+
+    def test_first_order_drops_hessian_term(self):
+        a1, b1, a2, b2 = self._quadratics()
+        alpha = 0.07
+        theta = Tensor(RNG.normal(size=5), requires_grad=True)
+        (g_inner,) = grad(self._loss(theta, a1, b1), [theta], create_graph=False)
+        phi = theta - alpha * g_inner  # g_inner detached: FOMAML
+        (meta_g,) = grad(self._loss(phi, a2, b2), [theta])
+        phi_np = theta.data - alpha * (a1 @ theta.data + b1)
+        expected_fo = a2 @ phi_np + b2  # no (I - alpha*A1) factor
+        np.testing.assert_allclose(meta_g.data, expected_fo, rtol=1e-10)
+
+    def test_exact_and_first_order_differ(self):
+        a1, b1, a2, b2 = self._quadratics()
+        alpha = 0.2
+        theta_np = RNG.normal(size=5)
+
+        theta = Tensor(theta_np, requires_grad=True)
+        (gi,) = grad(self._loss(theta, a1, b1), [theta], create_graph=True)
+        (exact,) = grad(self._loss(theta - alpha * gi, a2, b2), [theta])
+
+        theta2 = Tensor(theta_np, requires_grad=True)
+        (gi2,) = grad(self._loss(theta2, a1, b1), [theta2], create_graph=False)
+        (fo,) = grad(self._loss(theta2 - alpha * gi2, a2, b2), [theta2])
+
+        assert not np.allclose(exact.data, fo.data)

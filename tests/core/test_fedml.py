@@ -1,0 +1,138 @@
+"""Integration tests for FedML (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.nn import LogisticRegression
+from repro.nn.parameters import to_vector
+
+
+@pytest.fixture(scope="module")
+def workload():
+    fed = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=10, mean_samples=20, seed=1)
+    )
+    sources, targets = fed.split_sources_targets(0.8, np.random.default_rng(0))
+    return fed, sources, targets
+
+
+MODEL = LogisticRegression(60, 10)
+
+
+class TestFedMLConfig:
+    def test_defaults_match_paper(self):
+        cfg = FedMLConfig()
+        assert cfg.alpha == 0.01
+        assert cfg.beta == 0.01
+        assert cfg.inner_steps == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"beta": -1.0},
+            {"t0": 0},
+            {"total_iterations": 0},
+            {"k": 0},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            FedMLConfig(**kwargs)
+
+
+class TestFedMLTraining:
+    def test_meta_loss_decreases(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=5, total_iterations=50, k=5, seed=0)
+        result = FedML(MODEL, cfg).fit(fed, sources)
+        losses = result.global_meta_losses
+        assert losses[-1] < losses[0]
+
+    def test_deterministic_under_seed(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=5, total_iterations=15, k=5, seed=3)
+        r1 = FedML(MODEL, cfg).fit(fed, sources)
+        r2 = FedML(MODEL, cfg).fit(fed, sources)
+        np.testing.assert_array_equal(to_vector(r1.params), to_vector(r2.params))
+
+    def test_aggregation_count(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=4, total_iterations=20, k=5)
+        result = FedML(MODEL, cfg).fit(fed, sources)
+        assert result.platform.rounds_completed == 5
+
+    def test_communication_charged_per_round(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=5, total_iterations=10, k=5)
+        result = FedML(MODEL, cfg).fit(fed, sources)
+        # 8 source nodes, 2 aggregations: 16 uploads of the parameter blob.
+        from repro.utils.serialization import payload_bytes
+
+        blob = payload_bytes(result.params)
+        assert result.platform.comm_log.uplink_bytes == 16 * blob
+
+    def test_larger_t0_reduces_communication(self, workload):
+        fed, sources, _ = workload
+        base = dict(alpha=0.05, beta=0.05, total_iterations=20, k=5)
+        small = FedML(MODEL, FedMLConfig(t0=2, **base)).fit(fed, sources)
+        large = FedML(MODEL, FedMLConfig(t0=10, **base)).fit(fed, sources)
+        assert large.uplink_bytes < small.uplink_bytes
+
+    def test_nodes_synchronized_after_aggregation(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=5, total_iterations=5, k=5)
+        result = FedML(MODEL, cfg).fit(fed, sources)
+        reference = to_vector(result.nodes[0].params)
+        for node in result.nodes[1:]:
+            np.testing.assert_array_equal(to_vector(node.params), reference)
+
+    def test_local_step_counters(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=5, total_iterations=10, k=5)
+        result = FedML(MODEL, cfg).fit(fed, sources)
+        for node in result.nodes:
+            assert node.local_steps == 10
+            assert node.gradient_evaluations == 20
+
+    def test_init_params_respected(self, workload):
+        fed, sources, _ = workload
+        init = MODEL.init(np.random.default_rng(42))
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=5, total_iterations=5, k=5)
+        r1 = FedML(MODEL, cfg).fit(fed, sources, init_params=init)
+        r2 = FedML(MODEL, cfg).fit(fed, sources, init_params=init)
+        np.testing.assert_array_equal(to_vector(r1.params), to_vector(r2.params))
+
+    def test_first_order_variant_trains(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(
+            alpha=0.05, beta=0.05, t0=5, total_iterations=30, k=5, first_order=True
+        )
+        result = FedML(MODEL, cfg).fit(fed, sources)
+        assert result.global_meta_losses[-1] < result.global_meta_losses[0]
+
+    def test_eval_every_controls_history_density(self, workload):
+        fed, sources, _ = workload
+        cfg = FedMLConfig(
+            alpha=0.05, beta=0.05, t0=5, total_iterations=30, k=5, eval_every=3
+        )
+        result = FedML(MODEL, cfg).fit(fed, sources)
+        # initial record + every 3rd of 6 aggregations = 1 + 2
+        assert len(result.global_meta_losses) == 3
+
+    def test_partial_participation_still_synchronizes(self, workload):
+        from repro.federated import UniformSampler
+
+        fed, sources, _ = workload
+        cfg = FedMLConfig(alpha=0.05, beta=0.05, t0=5, total_iterations=10, k=5)
+        runner = FedML(
+            MODEL,
+            cfg,
+            participation=UniformSampler(0.5, np.random.default_rng(0)),
+        )
+        result = runner.fit(fed, sources)
+        reference = to_vector(result.nodes[0].params)
+        for node in result.nodes[1:]:
+            np.testing.assert_array_equal(to_vector(node.params), reference)

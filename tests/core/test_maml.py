@@ -1,0 +1,169 @@
+"""Tests for the MAML primitives (inner step, meta loss, meta gradient)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MAML, inner_adapt, meta_gradient, meta_loss
+from repro.data import Dataset
+from repro.data.dataset import NodeSplit
+from repro.nn import LogisticRegression, cross_entropy
+from repro.nn.parameters import from_vector, to_vector
+
+RNG = np.random.default_rng(5)
+
+
+def make_task(n=24, d=6, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=(d, classes))
+    y = np.argmax(x @ w, axis=1)
+    data = Dataset(x=x, y=y)
+    train, test = data.split(6)
+    return NodeSplit(train=train, test=test)
+
+
+MODEL = LogisticRegression(6, 3)
+
+
+class TestInnerAdapt:
+    def test_reduces_training_loss(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(0))
+        before = cross_entropy(
+            MODEL.apply(params, split.train.x), split.train.y
+        ).item()
+        phi = inner_adapt(MODEL, params, split.train, alpha=0.5)
+        after = cross_entropy(MODEL.apply(phi, split.train.x), split.train.y).item()
+        assert after < before
+
+    def test_zero_steps_raises(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            inner_adapt(MODEL, params, split.train, alpha=0.1, steps=0)
+
+    def test_multiple_steps_reduce_more(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(0))
+        one = inner_adapt(MODEL, params, split.train, alpha=0.1, steps=1)
+        five = inner_adapt(MODEL, params, split.train, alpha=0.1, steps=5)
+        loss_one = cross_entropy(MODEL.apply(one, split.train.x), split.train.y).item()
+        loss_five = cross_entropy(MODEL.apply(five, split.train.x), split.train.y).item()
+        assert loss_five < loss_one
+
+    def test_works_on_detached_params(self):
+        """Regression test: plain (non-grad) leaves must still be adapted."""
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(0))  # requires_grad=False
+        phi = inner_adapt(MODEL, params, split.train, alpha=0.5)
+        assert any(
+            not np.allclose(phi[name].data, params[name].data) for name in params
+        )
+
+    def test_matches_manual_gradient_step(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(0))
+        alpha = 0.3
+        phi = inner_adapt(MODEL, params, split.train, alpha=alpha)
+        # Manual: gradient of CE for softmax regression.
+        from repro.nn import one_hot
+        from scipy.special import softmax
+
+        logits = split.train.x @ params["W"].data + params["b"].data
+        probs = softmax(logits, axis=1)
+        residual = (probs - one_hot(split.train.y, 3)) / len(split.train)
+        grad_w = split.train.x.T @ residual
+        grad_b = residual.sum(axis=0)
+        np.testing.assert_allclose(phi["W"].data, params["W"].data - alpha * grad_w)
+        np.testing.assert_allclose(phi["b"].data, params["b"].data - alpha * grad_b)
+
+
+class TestMetaGradient:
+    def test_matches_finite_difference_of_meta_loss(self):
+        """The decisive correctness test: exact meta-gradient == d(meta_loss)/dθ."""
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(1))
+        alpha = 0.2
+        gradient, _ = meta_gradient(MODEL, params, split, alpha)
+
+        vec = to_vector(params)
+        g_vec = to_vector(gradient)
+        eps = 1e-6
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            direction = rng.normal(size=vec.size)
+            direction /= np.linalg.norm(direction)
+            plus = meta_loss(
+                MODEL, from_vector(vec + eps * direction, params), split, alpha
+            )
+            minus = meta_loss(
+                MODEL, from_vector(vec - eps * direction, params), split, alpha
+            )
+            numeric = (plus - minus) / (2 * eps)
+            analytic = float(g_vec @ direction)
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_first_order_differs_from_exact(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(1))
+        exact, _ = meta_gradient(MODEL, params, split, alpha=0.5)
+        fomaml, _ = meta_gradient(MODEL, params, split, alpha=0.5, first_order=True)
+        assert not np.allclose(to_vector(exact), to_vector(fomaml))
+
+    def test_first_order_equals_exact_at_alpha_zero_limit(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(1))
+        exact, _ = meta_gradient(MODEL, params, split, alpha=1e-8)
+        fomaml, _ = meta_gradient(MODEL, params, split, alpha=1e-8, first_order=True)
+        np.testing.assert_allclose(
+            to_vector(exact), to_vector(fomaml), rtol=1e-4, atol=1e-8
+        )
+
+    def test_returns_meta_loss_value(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(1))
+        _, value = meta_gradient(MODEL, params, split, alpha=0.2)
+        assert value == pytest.approx(meta_loss(MODEL, params, split, 0.2))
+
+    def test_extra_test_sets_add_loss_terms(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(1))
+        _, base = meta_gradient(MODEL, params, split, alpha=0.2)
+        _, augmented = meta_gradient(
+            MODEL, params, split, alpha=0.2, extra_test_sets=[split.test]
+        )
+        assert augmented == pytest.approx(2 * base)
+
+    def test_empty_extra_test_set_is_ignored(self):
+        split = make_task()
+        params = MODEL.init(np.random.default_rng(1))
+        empty = Dataset(x=np.zeros((0, 6)), y=np.zeros(0, dtype=int))
+        _, value = meta_gradient(
+            MODEL, params, split, alpha=0.2, extra_test_sets=[empty]
+        )
+        assert value == pytest.approx(meta_loss(MODEL, params, split, 0.2))
+
+
+class TestMAMLTrainer:
+    def test_training_reduces_average_meta_loss(self):
+        tasks = [make_task(seed=s) for s in range(8)]
+        trainer = MAML(MODEL, alpha=0.3, beta=0.3)
+        result = trainer.fit(
+            tasks, iterations=40, rng=np.random.default_rng(0), task_batch_size=4
+        )
+        start = np.mean(result.history[:5])
+        end = np.mean(result.history[-5:])
+        assert end < start
+
+    def test_meta_trained_model_adapts_better_than_init(self):
+        tasks = [make_task(seed=s) for s in range(8)]
+        held_out = make_task(seed=99)
+        trainer = MAML(MODEL, alpha=0.3, beta=0.3)
+        rng = np.random.default_rng(0)
+        init = MODEL.init(rng)
+        result = trainer.fit(
+            tasks, iterations=60, rng=rng, task_batch_size=4, init_params=init
+        )
+        before = meta_loss(MODEL, init, held_out, alpha=0.3)
+        after = meta_loss(MODEL, result.params, held_out, alpha=0.3)
+        assert after < before

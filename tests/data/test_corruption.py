@@ -1,0 +1,138 @@
+"""Tests for data-corruption (failure-injection) models."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    FederatedDataset,
+    add_feature_noise,
+    corrupt_nodes,
+    flip_labels,
+    poison_node_labels,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def make_dataset(n=40, classes=4):
+    return Dataset(
+        x=RNG.normal(size=(n, 3)), y=RNG.integers(0, classes, size=n)
+    )
+
+
+class TestFlipLabels:
+    def test_flips_requested_fraction(self):
+        ds = make_dataset(100)
+        flipped = flip_labels(ds, 0.3, 4, np.random.default_rng(1))
+        changed = np.sum(flipped.y != ds.y)
+        assert changed == 30
+
+    def test_flipped_labels_are_different_classes(self):
+        ds = make_dataset(100)
+        flipped = flip_labels(ds, 1.0, 4, np.random.default_rng(1))
+        assert np.all(flipped.y != ds.y)
+        assert flipped.y.min() >= 0
+        assert flipped.y.max() < 4
+
+    def test_zero_fraction_is_identity(self):
+        ds = make_dataset()
+        flipped = flip_labels(ds, 0.0, 4, np.random.default_rng(1))
+        np.testing.assert_array_equal(flipped.y, ds.y)
+
+    def test_original_untouched(self):
+        ds = make_dataset()
+        before = ds.y.copy()
+        flip_labels(ds, 0.5, 4, np.random.default_rng(1))
+        np.testing.assert_array_equal(ds.y, before)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            flip_labels(make_dataset(), 1.5, 4, np.random.default_rng(0))
+
+
+class TestFeatureNoise:
+    def test_noise_changes_features_not_labels(self):
+        ds = make_dataset()
+        noisy = add_feature_noise(ds, 0.5, np.random.default_rng(1))
+        assert not np.array_equal(noisy.x, ds.x)
+        np.testing.assert_array_equal(noisy.y, ds.y)
+
+    def test_zero_stddev_is_identity(self):
+        ds = make_dataset()
+        noisy = add_feature_noise(ds, 0.0, np.random.default_rng(1))
+        np.testing.assert_array_equal(noisy.x, ds.x)
+
+    def test_negative_stddev_raises(self):
+        with pytest.raises(ValueError):
+            add_feature_noise(make_dataset(), -1.0, np.random.default_rng(0))
+
+
+class TestPoisonNode:
+    def test_all_labels_become_target(self):
+        poisoned = poison_node_labels(make_dataset(), target_class=2)
+        assert set(poisoned.y.tolist()) == {2}
+
+    def test_negative_target_raises(self):
+        with pytest.raises(ValueError):
+            poison_node_labels(make_dataset(), target_class=-1)
+
+
+class TestCorruptNodes:
+    def _fed(self):
+        return FederatedDataset(
+            name="toy", nodes=[make_dataset() for _ in range(4)], num_classes=4
+        )
+
+    def test_only_selected_nodes_corrupted(self):
+        fed = self._fed()
+        out = corrupt_nodes(fed, [1], lambda ds: poison_node_labels(ds, 0))
+        assert set(out.nodes[1].y.tolist()) == {0}
+        np.testing.assert_array_equal(out.nodes[0].y, fed.nodes[0].y)
+        assert out.nodes[0] is fed.nodes[0]  # untouched nodes shared
+
+    def test_name_records_corruption(self):
+        out = corrupt_nodes(
+            self._fed(), [0, 2], lambda ds: poison_node_labels(ds, 0)
+        )
+        assert "corrupted(2)" in out.name
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            corrupt_nodes(self._fed(), [9], lambda ds: ds)
+
+    def test_poisoned_nodes_corrupt_the_global_model_locally(self):
+        """End-to-end failure injection: a node training on poisoned labels
+        drags the global model away from the true map *on that node's own
+        feature region* (per-node clusters keep the damage local — which is
+        itself the realistic behaviour)."""
+        from repro.core import FedAvg, FedAvgConfig
+        from repro.data import SyntheticConfig, generate_synthetic
+        from repro.nn import LogisticRegression, accuracy
+
+        fed = generate_synthetic(
+            SyntheticConfig(
+                alpha=0.0, beta=0.0, num_nodes=8, mean_samples=20,
+                input_dim=20, num_classes=5, seed=4,
+            )
+        )
+        model = LogisticRegression(20, 5)
+        cfg = FedAvgConfig(learning_rate=0.05, t0=5, total_iterations=80, seed=0)
+        sources = list(range(8))
+        corrupted_ids = [0, 1, 2]
+
+        clean = FedAvg(model, cfg).fit(fed, sources)
+        poisoned_fed = corrupt_nodes(
+            fed, corrupted_ids, lambda ds: poison_node_labels(ds, 4)
+        )
+        poisoned = FedAvg(model, cfg).fit(poisoned_fed, sources)
+
+        # Evaluate both models on the corrupted nodes' ORIGINAL clean data.
+        affected = fed.nodes[corrupted_ids[0]]
+        for i in corrupted_ids[1:]:
+            affected = affected.concat(fed.nodes[i])
+        clean_acc = accuracy(model.apply(clean.params, affected.x), affected.y)
+        poisoned_acc = accuracy(
+            model.apply(poisoned.params, affected.x), affected.y
+        )
+        assert poisoned_acc < clean_acc - 0.1

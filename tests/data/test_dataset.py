@@ -1,0 +1,109 @@
+"""Tests for dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, FederatedDataset
+
+RNG = np.random.default_rng(0)
+
+
+def make_dataset(n=10, d=4):
+    return Dataset(x=RNG.normal(size=(n, d)), y=RNG.integers(0, 3, size=n))
+
+
+class TestDataset:
+    def test_length(self):
+        assert len(make_dataset(7)) == 7
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((3, 2)), y=np.zeros(4, dtype=int))
+
+    def test_num_features_flattens(self):
+        ds = Dataset(x=np.zeros((5, 2, 3)), y=np.zeros(5, dtype=int))
+        assert ds.num_features == 6
+
+    def test_split_sizes(self):
+        train, test = make_dataset(10).split(3)
+        assert len(train) == 3
+        assert len(test) == 7
+
+    def test_split_is_disjoint_and_complete(self):
+        ds = make_dataset(10)
+        train, test = ds.split(4)
+        recombined = np.concatenate([train.x, test.x])
+        np.testing.assert_array_equal(recombined, ds.x)
+
+    @pytest.mark.parametrize("k", [0, 10, 11])
+    def test_split_invalid_k_raises(self, k):
+        with pytest.raises(ValueError):
+            make_dataset(10).split(k)
+
+    def test_subset(self):
+        ds = make_dataset(10)
+        sub = ds.subset([1, 3])
+        np.testing.assert_array_equal(sub.x, ds.x[[1, 3]])
+
+    def test_shuffled_preserves_pairs(self):
+        ds = make_dataset(20)
+        shuffled = ds.shuffled(np.random.default_rng(1))
+        pairs = {(tuple(row), label) for row, label in zip(ds.x, ds.y)}
+        pairs2 = {(tuple(row), label) for row, label in zip(shuffled.x, shuffled.y)}
+        assert pairs == pairs2
+
+    def test_concat(self):
+        a, b = make_dataset(3), make_dataset(4)
+        assert len(a.concat(b)) == 7
+
+    def test_batches_cover_everything(self):
+        ds = make_dataset(10)
+        batches = list(ds.batches(3))
+        assert sum(len(b) for b in batches) == 10
+        assert len(batches) == 4
+
+    def test_batches_shuffled(self):
+        ds = make_dataset(50)
+        batch = next(ds.batches(50, rng=np.random.default_rng(0)))
+        assert not np.array_equal(batch.x, ds.x)
+
+
+class TestFederatedDataset:
+    def _make(self, num_nodes=10):
+        nodes = [make_dataset(n) for n in range(5, 5 + num_nodes)]
+        return FederatedDataset(name="test", nodes=nodes, num_classes=3)
+
+    def test_statistics(self):
+        fed = self._make(4)  # sizes 5,6,7,8
+        stats = fed.statistics()
+        assert stats["nodes"] == 4
+        assert stats["samples_mean"] == pytest.approx(6.5)
+        assert stats["samples_total"] == 26
+
+    def test_split_sources_targets_partition(self):
+        fed = self._make(10)
+        sources, targets = fed.split_sources_targets(0.8, np.random.default_rng(0))
+        assert len(sources) == 8
+        assert len(targets) == 2
+        assert set(sources) | set(targets) == set(range(10))
+        assert not set(sources) & set(targets)
+
+    def test_split_always_leaves_a_target(self):
+        fed = self._make(3)
+        sources, targets = fed.split_sources_targets(0.99, np.random.default_rng(0))
+        assert len(targets) >= 1
+
+    def test_split_invalid_fraction_raises(self):
+        fed = self._make(3)
+        with pytest.raises(ValueError):
+            fed.split_sources_targets(1.0, np.random.default_rng(0))
+
+    def test_node_split_protocol(self):
+        fed = self._make(4)
+        split = fed.node_split(0, k=2)
+        assert len(split.train) == 2
+        assert len(split.test) == len(fed.nodes[0]) - 2
+
+    def test_sizes(self):
+        fed = self._make(3)
+        np.testing.assert_array_equal(fed.sizes(), [5, 6, 7])

@@ -1,0 +1,168 @@
+"""Tests for the three workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MnistLikeConfig,
+    Sent140LikeConfig,
+    SyntheticConfig,
+    digit_prototypes,
+    generate_mnist_like,
+    generate_sent140_like,
+    generate_synthetic,
+)
+
+
+class TestSynthetic:
+    def test_shapes_and_metadata(self):
+        fed = generate_synthetic(SyntheticConfig(num_nodes=10, seed=0))
+        assert len(fed) == 10
+        assert fed.num_classes == 10
+        assert fed.nodes[0].x.shape[1] == 60
+        assert len(fed.metadata["true_w"]) == 10
+
+    def test_deterministic_under_seed(self):
+        a = generate_synthetic(SyntheticConfig(num_nodes=5, seed=3))
+        b = generate_synthetic(SyntheticConfig(num_nodes=5, seed=3))
+        np.testing.assert_array_equal(a.nodes[2].x, b.nodes[2].x)
+        np.testing.assert_array_equal(a.nodes[2].y, b.nodes[2].y)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic(SyntheticConfig(num_nodes=5, seed=3))
+        b = generate_synthetic(SyntheticConfig(num_nodes=5, seed=4))
+        assert not np.array_equal(a.nodes[0].x, b.nodes[0].x)
+
+    def test_labels_consistent_with_true_model(self):
+        fed = generate_synthetic(SyntheticConfig(num_nodes=4, seed=1))
+        for i, node in enumerate(fed.nodes):
+            w = fed.metadata["true_w"][i]
+            b = fed.metadata["true_b"][i]
+            expected = np.argmax(node.x @ w.T + b, axis=1)
+            np.testing.assert_array_equal(node.y, expected)
+
+    def test_alpha_increases_model_heterogeneity(self):
+        """Larger α̃ spreads the per-node true models further apart."""
+
+        def model_spread(alpha):
+            fed = generate_synthetic(
+                SyntheticConfig(alpha=alpha, beta=0.0, num_nodes=30, seed=0)
+            )
+            means = np.array([w.mean() for w in fed.metadata["true_w"]])
+            return means.std()
+
+        assert model_spread(1.0) > model_spread(0.0)
+
+    def test_beta_increases_feature_heterogeneity(self):
+        def feature_spread(beta):
+            fed = generate_synthetic(
+                SyntheticConfig(alpha=0.0, beta=beta, num_nodes=30, seed=0)
+            )
+            means = np.array([node.x.mean() for node in fed.nodes])
+            return means.std()
+
+        assert feature_spread(1.0) > feature_spread(0.0)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(alpha=-1.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_nodes=1)
+
+    def test_name_encodes_similarity_knobs(self):
+        fed = generate_synthetic(SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=3))
+        assert fed.name == "Synthetic(0.5,0.5)"
+
+
+class TestMnistLike:
+    def test_prototypes_are_distinct(self):
+        protos = digit_prototypes()
+        assert protos.shape == (10, 64)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(protos[i] - protos[j]).sum() > 3
+
+    def test_each_node_has_two_classes(self):
+        fed = generate_mnist_like(MnistLikeConfig(num_nodes=20, seed=0))
+        for node in fed.nodes:
+            assert len(np.unique(node.y)) <= 2
+
+    def test_pixels_in_unit_range(self):
+        fed = generate_mnist_like(MnistLikeConfig(num_nodes=5, seed=0))
+        for node in fed.nodes:
+            assert node.x.min() >= 0.0
+            assert node.x.max() <= 1.0
+
+    def test_deterministic(self):
+        a = generate_mnist_like(MnistLikeConfig(num_nodes=5, seed=2))
+        b = generate_mnist_like(MnistLikeConfig(num_nodes=5, seed=2))
+        np.testing.assert_array_equal(a.nodes[1].x, b.nodes[1].x)
+
+    def test_class_signal_is_learnable_by_nearest_prototype(self):
+        """Noisy digits must still be closest to their own prototype mostly."""
+        fed = generate_mnist_like(
+            MnistLikeConfig(num_nodes=10, jitter=False, seed=0)
+        )
+        protos = digit_prototypes()
+        correct = total = 0
+        for node in fed.nodes:
+            dists = ((node.x[:, None, :] - protos[None]) ** 2).sum(axis=2)
+            nearest = np.argmin(dists, axis=1)
+            correct += int((nearest == node.y).sum())
+            total += len(node)
+        assert correct / total > 0.9
+
+    def test_statistics_close_to_table1(self):
+        fed = generate_mnist_like(MnistLikeConfig(num_nodes=100, seed=0))
+        stats = fed.statistics()
+        assert stats["nodes"] == 100
+        assert 25 < stats["samples_mean"] < 45
+
+
+class TestSent140Like:
+    def test_shapes(self):
+        fed = generate_sent140_like(
+            Sent140LikeConfig(num_nodes=10, seq_len=25, vocab_size=64, seed=0)
+        )
+        assert fed.nodes[0].x.shape[1] == 25
+        assert fed.num_classes == 2
+
+    def test_token_ids_in_vocab(self):
+        fed = generate_sent140_like(
+            Sent140LikeConfig(num_nodes=10, vocab_size=30, seed=0)
+        )
+        for node in fed.nodes:
+            assert node.x.min() >= 0
+            assert node.x.max() < 30
+            assert node.x.dtype.kind == "i"
+
+    def test_binary_labels(self):
+        fed = generate_sent140_like(Sent140LikeConfig(num_nodes=10, seed=0))
+        for node in fed.nodes:
+            assert set(np.unique(node.y)).issubset({0, 1})
+
+    def test_sentiment_signal_exists(self):
+        """Positive-pool tokens must be more frequent in positive samples."""
+        cfg = Sent140LikeConfig(num_nodes=40, vocab_size=30, seed=0)
+        fed = generate_sent140_like(cfg)
+        third = cfg.vocab_size // 3
+        pos_rate = {0: [], 1: []}
+        for node in fed.nodes:
+            for seq, label in zip(node.x, node.y):
+                share = np.mean(seq < third)
+                pos_rate[int(label)].append(share)
+        assert np.mean(pos_rate[1]) > np.mean(pos_rate[0]) + 0.2
+
+    def test_deterministic(self):
+        a = generate_sent140_like(Sent140LikeConfig(num_nodes=5, seed=9))
+        b = generate_sent140_like(Sent140LikeConfig(num_nodes=5, seed=9))
+        np.testing.assert_array_equal(a.nodes[0].x, b.nodes[0].x)
+
+    def test_tiny_vocab_raises(self):
+        with pytest.raises(ValueError):
+            generate_sent140_like(Sent140LikeConfig(vocab_size=6, num_nodes=3))
+
+    def test_table1_scale_default(self):
+        cfg = Sent140LikeConfig()
+        assert cfg.num_nodes == 706
+        assert cfg.mean_samples == 42.0

@@ -1,0 +1,81 @@
+"""Tests for partitioning helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import power_law_sizes, shard_labels
+
+
+class TestPowerLawSizes:
+    def test_respects_minimum(self):
+        sizes = power_law_sizes(100, 20.0, np.random.default_rng(0), minimum=5)
+        assert sizes.min() >= 5
+
+    def test_mean_is_approximately_requested(self):
+        sizes = power_law_sizes(2000, 30.0, np.random.default_rng(0), minimum=4)
+        assert abs(sizes.mean() - 30.0) < 4.0
+
+    def test_heavy_tail_exists(self):
+        sizes = power_law_sizes(2000, 30.0, np.random.default_rng(0), minimum=4)
+        assert sizes.max() > 3 * sizes.mean()
+
+    def test_deterministic_under_seed(self):
+        a = power_law_sizes(50, 20.0, np.random.default_rng(7))
+        b = power_law_sizes(50, 20.0, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            power_law_sizes(0, 20.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            power_law_sizes(5, 3.0, np.random.default_rng(0), minimum=4)
+
+    @given(st.integers(1, 200), st.integers(10, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_property_counts_and_floor(self, num_nodes, mean):
+        sizes = power_law_sizes(
+            num_nodes, float(mean), np.random.default_rng(0), minimum=4
+        )
+        assert len(sizes) == num_nodes
+        assert np.all(sizes >= 4)
+        assert sizes.dtype.kind == "i"
+
+
+class TestShardLabels:
+    def test_each_node_gets_requested_count(self):
+        shards = shard_labels(100, 10, 2, np.random.default_rng(0))
+        assert all(len(s) == 2 for s in shards)
+
+    def test_labels_within_range_and_distinct(self):
+        shards = shard_labels(100, 10, 2, np.random.default_rng(0))
+        for s in shards:
+            assert len(set(s.tolist())) == 2
+            assert all(0 <= label < 10 for label in s)
+
+    def test_all_classes_covered_with_enough_nodes(self):
+        shards = shard_labels(50, 10, 2, np.random.default_rng(0))
+        covered = set()
+        for s in shards:
+            covered.update(s.tolist())
+        assert covered == set(range(10))
+
+    def test_too_many_labels_per_node_raises(self):
+        with pytest.raises(ValueError):
+            shard_labels(5, 3, 4, np.random.default_rng(0))
+
+    def test_full_assignment_allowed(self):
+        shards = shard_labels(3, 4, 4, np.random.default_rng(0))
+        for s in shards:
+            np.testing.assert_array_equal(np.sort(s), np.arange(4))
+
+    @given(st.integers(1, 50), st.integers(2, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_sorted_unique(self, num_nodes, num_classes):
+        per_node = min(2, num_classes)
+        shards = shard_labels(
+            num_nodes, num_classes, per_node, np.random.default_rng(1)
+        )
+        for s in shards:
+            assert list(s) == sorted(set(s.tolist()))

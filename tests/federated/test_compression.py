@@ -1,0 +1,169 @@
+"""Tests for upload compression schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.data import Dataset
+from repro.federated import (
+    CompressedPlatform,
+    TopKSparsifier,
+    UniformQuantizer,
+    build_nodes,
+)
+from repro.nn.parameters import to_vector
+from repro.utils.serialization import serialize_params
+
+RNG = np.random.default_rng(0)
+
+
+def make_params(seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return {
+        "W": Tensor(scale * rng.normal(size=(8, 4))),
+        "b": Tensor(scale * rng.normal(size=4)),
+    }
+
+
+class TestUniformQuantizer:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        params = make_params()
+        quantizer = UniformQuantizer(bits=8)
+        back = quantizer.decompress(quantizer.compress(params))
+        for name in params:
+            span = params[name].data.max() - params[name].data.min()
+            step = span / 255
+            error = np.abs(back[name].data - params[name].data).max()
+            assert error <= step / 2 + 1e-12
+
+    def test_16_bits_more_accurate_than_8(self):
+        params = make_params()
+        err = {}
+        for bits in (8, 16):
+            q = UniformQuantizer(bits=bits)
+            back = q.decompress(q.compress(params))
+            err[bits] = np.abs(to_vector(back) - to_vector(params)).max()
+        assert err[16] < err[8]
+
+    def test_smaller_than_full_precision(self):
+        # Large enough that per-tensor headers are negligible: the ratio
+        # should approach 8/64 bits.
+        params = {"W": Tensor(RNG.normal(size=(100, 100)))}
+        full = len(serialize_params(params))
+        compressed = len(UniformQuantizer(bits=8).compress(params))
+        assert compressed < full / 4
+
+    def test_constant_tensor_roundtrips_exactly(self):
+        params = {"c": Tensor(np.full((3, 3), 7.5))}
+        q = UniformQuantizer()
+        back = q.decompress(q.compress(params))
+        np.testing.assert_allclose(back["c"].data, 7.5)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=4)
+
+    def test_wrong_magic_raises(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer().decompress(b"XXXX" + b"\x00" * 16)
+
+    def test_bit_mismatch_raises(self):
+        params = make_params()
+        blob = UniformQuantizer(bits=8).compress(params)
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=16).decompress(blob)
+
+    @given(st.integers(0, 1000), st.floats(0.01, 100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_error_property(self, seed, scale):
+        params = make_params(seed, scale)
+        q = UniformQuantizer(bits=8)
+        back = q.decompress(q.compress(params))
+        for name in params:
+            span = params[name].data.max() - params[name].data.min()
+            error = np.abs(back[name].data - params[name].data).max()
+            assert error <= span / 255 / 2 + 1e-9 * max(1.0, span)
+
+
+class TestTopKSparsifier:
+    def test_keeps_largest_magnitudes(self):
+        params = {"w": Tensor(np.array([0.1, -5.0, 0.2, 3.0]))}
+        s = TopKSparsifier(fraction=0.5)
+        back = s.decompress(s.compress(params))
+        np.testing.assert_allclose(back["w"].data, [0.0, -5.0, 0.0, 3.0])
+
+    def test_fraction_one_is_lossless(self):
+        params = make_params()
+        s = TopKSparsifier(fraction=1.0)
+        back = s.decompress(s.compress(params))
+        np.testing.assert_allclose(to_vector(back), to_vector(params))
+
+    def test_smaller_fraction_smaller_blob(self):
+        params = make_params()
+        small = len(TopKSparsifier(0.1).compress(params))
+        large = len(TopKSparsifier(0.9).compress(params))
+        assert small < large
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TopKSparsifier(0.0)
+        with pytest.raises(ValueError):
+            TopKSparsifier(1.5)
+
+    def test_shape_preserved(self):
+        params = make_params()
+        s = TopKSparsifier(0.25)
+        back = s.decompress(s.compress(params))
+        assert back["W"].shape == (8, 4)
+
+    def test_wrong_magic_raises(self):
+        with pytest.raises(ValueError):
+            TopKSparsifier(0.5).decompress(b"XXXX" + b"\x00" * 8)
+
+
+class TestCompressedPlatform:
+    def _nodes(self):
+        datasets = [
+            Dataset(x=RNG.normal(size=(10, 4)), y=RNG.integers(0, 3, size=10))
+            for _ in range(3)
+        ]
+        return build_nodes(datasets, k=3)
+
+    def test_uplink_bytes_smaller_than_plain(self):
+        from repro.federated import Platform
+
+        nodes_a, nodes_b = self._nodes(), self._nodes()
+        params = {"W": Tensor(RNG.normal(size=(100, 100)))}
+
+        plain = Platform()
+        plain.initialize(params, nodes_a)
+        plain.aggregate(nodes_a)
+
+        compressed = CompressedPlatform(UniformQuantizer(bits=8))
+        compressed.initialize(params, nodes_b)
+        compressed.aggregate(nodes_b)
+
+        assert compressed.comm_log.uplink_bytes < plain.comm_log.uplink_bytes / 4
+
+    def test_aggregate_close_to_uncompressed(self):
+        from repro.federated import Platform
+
+        nodes_a, nodes_b = self._nodes(), self._nodes()
+        params = make_params()
+        for node_a, node_b, seed in zip(nodes_a, nodes_b, (1, 2, 3)):
+            node_a.params = make_params(seed)
+            node_b.params = make_params(seed)
+
+        plain = Platform()
+        plain.global_params = params
+        exact = plain.aggregate(nodes_a)
+
+        compressed = CompressedPlatform(UniformQuantizer(bits=16))
+        compressed.global_params = params
+        approx = compressed.aggregate(nodes_b)
+
+        np.testing.assert_allclose(
+            to_vector(approx), to_vector(exact), atol=1e-3
+        )

@@ -1,0 +1,219 @@
+"""Tests for edge nodes, aggregation, and the platform."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.data import Dataset
+from repro.federated import (
+    DropoutInjector,
+    EdgeNode,
+    FullParticipation,
+    Platform,
+    UniformSampler,
+    build_nodes,
+    coordinate_median,
+    trimmed_mean,
+    weighted_mean,
+)
+from repro.nn.parameters import l2_distance
+
+RNG = np.random.default_rng(0)
+
+
+def make_datasets(sizes=(10, 20, 30)):
+    return [
+        Dataset(x=RNG.normal(size=(n, 4)), y=RNG.integers(0, 3, size=n))
+        for n in sizes
+    ]
+
+
+def make_tree(value):
+    return {"w": Tensor(np.full(3, float(value)))}
+
+
+class TestBuildNodes:
+    def test_weights_proportional_to_data(self):
+        nodes = build_nodes(make_datasets((10, 30)), k=3)
+        assert nodes[0].weight == pytest.approx(0.25)
+        assert nodes[1].weight == pytest.approx(0.75)
+
+    def test_weights_sum_to_one(self):
+        nodes = build_nodes(make_datasets(), k=3)
+        assert sum(n.weight for n in nodes) == pytest.approx(1.0)
+
+    def test_k_shot_split(self):
+        nodes = build_nodes(make_datasets((10,)), k=4)
+        assert len(nodes[0].split.train) == 4
+        assert len(nodes[0].split.test) == 6
+
+    def test_custom_ids(self):
+        nodes = build_nodes(make_datasets((10, 20)), k=3, node_ids=[7, 9])
+        assert [n.node_id for n in nodes] == [7, 9]
+
+    def test_id_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            build_nodes(make_datasets((10,)), k=3, node_ids=[1, 2])
+
+    def test_combined_test_set_without_adversarial(self):
+        node = build_nodes(make_datasets((10,)), k=3)[0]
+        assert len(node.combined_test_set()) == 7
+
+    def test_combined_test_set_with_adversarial(self):
+        node = build_nodes(make_datasets((10,)), k=3)[0]
+        node.adversarial = Dataset(
+            x=RNG.normal(size=(5, 4)), y=RNG.integers(0, 3, size=5)
+        )
+        assert len(node.combined_test_set()) == 12
+
+    def test_record_local_step(self):
+        node = build_nodes(make_datasets((10,)), k=3)[0]
+        node.record_local_step()
+        node.record_local_step(gradient_evals=3)
+        assert node.local_steps == 2
+        assert node.gradient_evaluations == 5
+
+
+class TestAggregationRules:
+    def test_weighted_mean_exact(self):
+        out = weighted_mean([make_tree(0.0), make_tree(10.0)], [0.3, 0.7])
+        np.testing.assert_allclose(out["w"].data, np.full(3, 7.0))
+
+    def test_median_ignores_outlier(self):
+        trees = [make_tree(1.0), make_tree(2.0), make_tree(1000.0)]
+        out = coordinate_median(trees)
+        np.testing.assert_allclose(out["w"].data, np.full(3, 2.0))
+
+    def test_trimmed_mean_removes_tails(self):
+        trees = [make_tree(v) for v in (1.0, 2.0, 3.0, 4.0, 1000.0)]
+        out = trimmed_mean(trees, trim_fraction=0.2)
+        np.testing.assert_allclose(out["w"].data, np.full(3, 3.0))
+
+    def test_trimmed_mean_zero_trim_is_mean(self):
+        trees = [make_tree(v) for v in (1.0, 3.0)]
+        out = trimmed_mean(trees, trim_fraction=0.0)
+        np.testing.assert_allclose(out["w"].data, np.full(3, 2.0))
+
+    def test_trimmed_mean_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([make_tree(1.0)], trim_fraction=0.5)
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            coordinate_median([])
+
+
+class TestPlatform:
+    def _nodes(self):
+        return build_nodes(make_datasets((10, 30)), k=3)
+
+    def test_initialize_broadcasts(self):
+        platform = Platform()
+        nodes = self._nodes()
+        platform.initialize(make_tree(5.0), nodes)
+        for node in nodes:
+            np.testing.assert_allclose(node.params["w"].data, np.full(3, 5.0))
+
+    def test_aggregate_matches_manual_average(self):
+        platform = Platform()
+        nodes = self._nodes()
+        platform.initialize(make_tree(0.0), nodes)
+        nodes[0].params = make_tree(4.0)
+        nodes[1].params = make_tree(8.0)
+        out = platform.aggregate(nodes)
+        expected = 0.25 * 4.0 + 0.75 * 8.0
+        np.testing.assert_allclose(out["w"].data, np.full(3, expected))
+
+    def test_aggregate_renormalizes_partial_participation(self):
+        platform = Platform()
+        nodes = self._nodes()
+        platform.initialize(make_tree(0.0), nodes)
+        nodes[1].params = make_tree(8.0)
+        out = platform.aggregate([nodes[1]])
+        np.testing.assert_allclose(out["w"].data, np.full(3, 8.0))
+
+    def test_aggregate_charges_communication(self):
+        platform = Platform()
+        nodes = self._nodes()
+        platform.initialize(make_tree(0.0), nodes)
+        platform.aggregate(nodes)
+        # init broadcast: 2 downloads; aggregate: 2 uploads + 2 downloads
+        assert platform.comm_log.uplink_bytes > 0
+        assert platform.comm_log.downlink_bytes > platform.comm_log.uplink_bytes / 2
+        assert platform.rounds_completed == 1
+
+    def test_aggregate_without_params_raises(self):
+        platform = Platform()
+        nodes = self._nodes()
+        platform.global_params = make_tree(0.0)
+        nodes[0].params = None
+        with pytest.raises(RuntimeError):
+            platform.aggregate(nodes)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            Platform().aggregate([])
+
+    def test_transfer_to_target_roundtrips(self):
+        platform = Platform()
+        nodes = self._nodes()
+        platform.initialize(make_tree(3.0), nodes)
+        transferred = platform.transfer_to_target()
+        assert l2_distance(transferred, platform.global_params) == 0.0
+
+    def test_transfer_without_model_raises(self):
+        with pytest.raises(RuntimeError):
+            Platform().transfer_to_target()
+
+    def test_custom_aggregator(self):
+        platform = Platform(aggregator=lambda trees, weights: coordinate_median(trees))
+        nodes = build_nodes(make_datasets((10, 10, 10)), k=3)
+        platform.initialize(make_tree(0.0), nodes)
+        nodes[0].params = make_tree(1.0)
+        nodes[1].params = make_tree(2.0)
+        nodes[2].params = make_tree(50.0)
+        out = platform.aggregate(nodes)
+        np.testing.assert_allclose(out["w"].data, np.full(3, 2.0))
+
+
+class TestSampling:
+    def _nodes(self):
+        return build_nodes(make_datasets((10, 10, 10, 10)), k=3)
+
+    def test_full_participation(self):
+        nodes = self._nodes()
+        assert FullParticipation().select(nodes, 1) == nodes
+
+    def test_uniform_sampler_size(self):
+        nodes = self._nodes()
+        sampler = UniformSampler(0.5, np.random.default_rng(0))
+        assert len(sampler.select(nodes, 1)) == 2
+
+    def test_uniform_sampler_subset(self):
+        nodes = self._nodes()
+        sampler = UniformSampler(0.5, np.random.default_rng(0))
+        chosen = sampler.select(nodes, 1)
+        assert all(n in nodes for n in chosen)
+
+    def test_uniform_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0.0, np.random.default_rng(0))
+
+    def test_dropout_keeps_at_least_one(self):
+        nodes = self._nodes()
+        injector = DropoutInjector(
+            FullParticipation(), rate=0.99, rng=np.random.default_rng(0)
+        )
+        for round_index in range(10):
+            assert len(injector.select(nodes, round_index)) >= 1
+
+    def test_dropout_zero_rate_is_identity(self):
+        nodes = self._nodes()
+        injector = DropoutInjector(
+            FullParticipation(), rate=0.0, rng=np.random.default_rng(0)
+        )
+        assert injector.select(nodes, 1) == nodes
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            DropoutInjector(FullParticipation(), rate=1.0, rng=np.random.default_rng(0))

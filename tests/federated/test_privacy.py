@@ -1,0 +1,116 @@
+"""Tests for secure aggregation and the Gaussian DP mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.federated.privacy import GaussianMechanism, SecureAggregator
+from repro.nn.parameters import to_vector
+
+RNG = np.random.default_rng(0)
+
+
+def make_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"W": Tensor(rng.normal(size=(4, 3))), "b": Tensor(rng.normal(size=3))}
+
+
+class TestSecureAggregator:
+    def test_masks_cancel_in_full_sum(self):
+        node_ids = [0, 1, 2, 3]
+        agg = SecureAggregator(node_ids, seed=7)
+        trees = {i: make_params(i) for i in node_ids}
+        masked = [agg.mask(i, round_index=1, params=trees[i]) for i in node_ids]
+        result = agg.aggregate(masked, [0.25] * 4)
+        expected = np.mean([to_vector(trees[i]) for i in node_ids], axis=0)
+        np.testing.assert_allclose(to_vector(result), expected, atol=1e-9)
+
+    def test_individual_upload_is_obscured(self):
+        agg = SecureAggregator([0, 1, 2], seed=7, mask_scale=100.0)
+        params = make_params(0)
+        masked = agg.mask(0, round_index=1, params=params)
+        # The masked upload should be nowhere near the true parameters.
+        assert np.linalg.norm(to_vector(masked) - to_vector(params)) > 10.0
+
+    def test_partial_sum_stays_masked(self):
+        node_ids = [0, 1, 2]
+        agg = SecureAggregator(node_ids, seed=7, mask_scale=100.0)
+        trees = {i: make_params(i) for i in node_ids}
+        masked = [agg.mask(i, 1, trees[i]) for i in node_ids[:2]]  # subset!
+        partial = np.mean([to_vector(m) for m in masked], axis=0)
+        true_partial = np.mean([to_vector(trees[i]) for i in (0, 1)], axis=0)
+        assert np.linalg.norm(partial - true_partial) > 10.0
+
+    def test_rounds_use_fresh_masks(self):
+        agg = SecureAggregator([0, 1], seed=7)
+        params = make_params(0)
+        m1 = agg.mask(0, round_index=1, params=params)
+        m2 = agg.mask(0, round_index=2, params=params)
+        assert not np.allclose(to_vector(m1), to_vector(m2))
+
+    def test_weighted_aggregation_via_prescaling(self):
+        node_ids = [0, 1, 2]
+        weights = [0.2, 0.3, 0.5]
+        agg = SecureAggregator(node_ids, seed=3)
+        trees = {i: make_params(i) for i in node_ids}
+        masked = [
+            agg.mask(i, 1, agg.prescale(trees[i], w, len(node_ids)))
+            for i, w in zip(node_ids, weights)
+        ]
+        result = agg.aggregate(masked, weights)
+        expected = np.sum(
+            [w * to_vector(trees[i]) for i, w in zip(node_ids, weights)], axis=0
+        )
+        np.testing.assert_allclose(to_vector(result), expected, atol=1e-9)
+
+    def test_unknown_node_raises(self):
+        agg = SecureAggregator([0, 1], seed=0)
+        with pytest.raises(KeyError):
+            agg.mask(9, 1, make_params())
+
+    def test_too_few_nodes_raises(self):
+        with pytest.raises(ValueError):
+            SecureAggregator([0])
+
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(ValueError):
+            SecureAggregator([0, 0, 1])
+
+
+class TestGaussianMechanism:
+    def test_clipping_bounds_norm(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0)
+        params = make_params()
+        out = mech.privatize(params)
+        assert np.linalg.norm(to_vector(out)) <= 1.0 + 1e-9
+
+    def test_small_vectors_not_scaled(self):
+        mech = GaussianMechanism(clip_norm=1e6, noise_multiplier=0.0)
+        params = make_params()
+        out = mech.privatize(params)
+        np.testing.assert_allclose(to_vector(out), to_vector(params))
+
+    def test_noise_scale(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=2.0, seed=1)
+        params = {"w": Tensor(np.zeros(2000))}
+        out = mech.privatize(params)
+        measured = np.std(to_vector(out))
+        assert 1.7 < measured < 2.3  # sigma = multiplier * clip = 2.0
+
+    def test_noise_differs_across_calls(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=1.0, seed=1)
+        params = make_params()
+        a = to_vector(mech.privatize(params))
+        b = to_vector(mech.privatize(params))
+        assert not np.allclose(a, b)
+
+    def test_deterministic_under_seed(self):
+        a = GaussianMechanism(1.0, 1.0, seed=5).privatize(make_params())
+        b = GaussianMechanism(1.0, 1.0, seed=5).privatize(make_params())
+        np.testing.assert_array_equal(to_vector(a), to_vector(b))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(0.0, 1.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(1.0, -1.0)

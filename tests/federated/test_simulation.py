@@ -1,0 +1,133 @@
+"""Tests for the discrete-event fleet timing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    DeviceProfile,
+    LinkModel,
+    sample_fleet,
+    simulate_synchronous_rounds,
+)
+
+LINK = LinkModel(uplink_bytes_per_s=1e6, downlink_bytes_per_s=1e6, latency_s=0.0)
+
+
+def fixed_fleet(speeds):
+    return [
+        DeviceProfile(device_id=i, seconds_per_step=s, link=LINK)
+        for i, s in enumerate(speeds)
+    ]
+
+
+class TestDeviceProfile:
+    def test_round_time_formula(self):
+        device = DeviceProfile(0, seconds_per_step=0.1, link=LINK)
+        # 10 steps * 0.1s + 1e6 bytes / 1e6 B/s = 2.0 s
+        assert device.round_time(10, 1_000_000) == pytest.approx(2.0)
+
+    def test_negative_args_raise(self):
+        device = DeviceProfile(0, 0.1, LINK)
+        with pytest.raises(ValueError):
+            device.round_time(-1, 0)
+
+
+class TestSampleFleet:
+    def test_size_and_determinism(self):
+        a = sample_fleet(20, np.random.default_rng(0))
+        b = sample_fleet(20, np.random.default_rng(0))
+        assert len(a) == 20
+        assert [d.seconds_per_step for d in a] == [d.seconds_per_step for d in b]
+
+    def test_zero_heterogeneity_gives_identical_devices(self):
+        fleet = sample_fleet(
+            5, np.random.default_rng(0), median_seconds_per_step=0.2,
+            heterogeneity=0.0,
+        )
+        speeds = {d.seconds_per_step for d in fleet}
+        assert speeds == {0.2}
+
+    def test_heterogeneity_spreads_speeds(self):
+        tight = sample_fleet(200, np.random.default_rng(0), heterogeneity=0.1)
+        wide = sample_fleet(200, np.random.default_rng(0), heterogeneity=1.0)
+        spread = lambda fleet: np.std([d.seconds_per_step for d in fleet])
+        assert spread(wide) > spread(tight)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sample_fleet(0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sample_fleet(5, np.random.default_rng(0), heterogeneity=-1)
+
+
+class TestSynchronousRounds:
+    def test_round_duration_is_slowest_plus_broadcast(self):
+        fleet = fixed_fleet([0.1, 0.5])  # slowest: 0.5 s/step
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=1, local_steps_per_round=10,
+            upload_bytes=1_000_000,
+        )
+        # slowest compute+upload: 10*0.5 + 1 = 6 s; broadcast: 1 s
+        assert timeline.total_time == pytest.approx(7.0)
+
+    def test_rounds_accumulate(self):
+        fleet = fixed_fleet([0.1])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=4, local_steps_per_round=10, upload_bytes=0
+        )
+        assert len(timeline.rounds) == 4
+        assert timeline.total_time == pytest.approx(4 * 1.0)
+
+    def test_deadline_drops_stragglers(self):
+        fleet = fixed_fleet([0.1, 10.0])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=2, local_steps_per_round=10, upload_bytes=0,
+            deadline_s=5.0,
+        )
+        for outcome in timeline.rounds:
+            assert outcome.participants == [0]
+            assert outcome.stragglers_dropped == [1]
+
+    def test_deadline_shortens_rounds(self):
+        fleet = fixed_fleet([0.1, 10.0])
+        slow = simulate_synchronous_rounds(
+            fleet, num_rounds=2, local_steps_per_round=10, upload_bytes=0
+        )
+        fast = simulate_synchronous_rounds(
+            fleet, num_rounds=2, local_steps_per_round=10, upload_bytes=0,
+            deadline_s=5.0,
+        )
+        assert fast.total_time < slow.total_time
+
+    def test_min_participants_kept_past_deadline(self):
+        fleet = fixed_fleet([10.0, 20.0])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=1, local_steps_per_round=1, upload_bytes=0,
+            deadline_s=0.001, min_participants=1,
+        )
+        assert timeline.rounds[0].participants == [0]
+
+    def test_participation_rate(self):
+        fleet = fixed_fleet([0.1, 10.0])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=2, local_steps_per_round=10, upload_bytes=0,
+            deadline_s=5.0,
+        )
+        assert timeline.participation_rate(2) == pytest.approx(0.5)
+
+    def test_invalid_args(self):
+        fleet = fixed_fleet([0.1])
+        with pytest.raises(ValueError):
+            simulate_synchronous_rounds(fleet, 0, 1, 0)
+        with pytest.raises(ValueError):
+            simulate_synchronous_rounds([], 1, 1, 0)
+        with pytest.raises(ValueError):
+            simulate_synchronous_rounds(fleet, 1, 1, 0, min_participants=2)
+
+    def test_empty_timeline_properties(self):
+        from repro.federated import FleetTimeline
+
+        timeline = FleetTimeline()
+        assert timeline.total_time == 0.0
+        assert timeline.mean_round_time == 0.0
+        assert timeline.participation_rate(5) == 0.0

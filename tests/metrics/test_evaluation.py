@@ -1,0 +1,114 @@
+"""Tests for evaluation protocols and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import fgsm
+from repro.data import Dataset, FederatedDataset
+from repro.metrics import (
+    evaluate_robustness,
+    few_shot_sweep,
+    format_table,
+    target_splits,
+)
+from repro.nn import LogisticRegression
+
+RNG = np.random.default_rng(0)
+MODEL = LogisticRegression(4, 3)
+
+
+def make_fed(sizes=(12, 15, 20, 6)):
+    nodes = [
+        Dataset(x=RNG.normal(size=(n, 4)), y=RNG.integers(0, 3, size=n))
+        for n in sizes
+    ]
+    return FederatedDataset(name="toy", nodes=nodes, num_classes=3)
+
+
+class TestTargetSplits:
+    def test_k_shot_protocol(self):
+        fed = make_fed()
+        splits = target_splits(fed, [0, 1], k=5)
+        assert all(len(s.train) == 5 for s in splits)
+
+    def test_skips_too_small_nodes(self):
+        fed = make_fed()
+        splits = target_splits(fed, [0, 3], k=8)  # node 3 has only 6 samples
+        assert len(splits) == 1
+
+    def test_all_too_small_raises(self):
+        fed = make_fed((4, 5))
+        with pytest.raises(ValueError):
+            target_splits(fed, [0, 1], k=10)
+
+
+class TestFewShotSweep:
+    def test_returns_curve_per_k(self):
+        fed = make_fed()
+        params = MODEL.init(np.random.default_rng(0))
+        curves = few_shot_sweep(
+            MODEL, params, fed, [0, 1], ks=[2, 5], alpha=0.1, max_steps=3
+        )
+        assert set(curves) == {2, 5}
+        assert len(curves[2].losses) == 4
+
+
+class TestEvaluateRobustness:
+    def test_report_fields_consistent(self):
+        fed = make_fed()
+        params = MODEL.init(np.random.default_rng(0))
+        splits = target_splits(fed, [0, 1], k=4)
+        report = evaluate_robustness(
+            MODEL, params, splits, alpha=0.1,
+            attack=lambda m, p, x, y: fgsm(m, p, x, y, xi=0.3),
+        )
+        assert 0.0 <= report.clean_accuracy <= 1.0
+        assert 0.0 <= report.adversarial_accuracy <= 1.0
+        assert report.robustness_gap == pytest.approx(
+            report.clean_accuracy - report.adversarial_accuracy
+        )
+
+    def test_attack_does_not_help(self):
+        fed = make_fed()
+        params = MODEL.init(np.random.default_rng(0))
+        splits = target_splits(fed, [0, 1], k=4)
+        report = evaluate_robustness(
+            MODEL, params, splits, alpha=0.1, adapt_steps=5,
+            attack=lambda m, p, x, y: fgsm(m, p, x, y, xi=0.5),
+        )
+        assert report.adversarial_loss >= report.clean_loss
+
+    def test_identity_attack_gives_equal_metrics(self):
+        fed = make_fed()
+        params = MODEL.init(np.random.default_rng(0))
+        splits = target_splits(fed, [0, 1], k=4)
+        report = evaluate_robustness(
+            MODEL, params, splits, alpha=0.1,
+            attack=lambda m, p, x, y: x,
+        )
+        assert report.clean_loss == pytest.approx(report.adversarial_loss)
+        assert report.clean_accuracy == pytest.approx(report.adversarial_accuracy)
+
+    def test_empty_targets_raise(self):
+        params = MODEL.init(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            evaluate_robustness(
+                MODEL, params, [], alpha=0.1, attack=lambda m, p, x, y: x
+            )
+
+
+class TestFormatTable:
+    def test_aligned_output(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.0000" in lines[2]
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_integers_render_without_decimals(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out
+        assert "42.0" not in out

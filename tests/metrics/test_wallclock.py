@@ -1,0 +1,78 @@
+"""Tests for the wall-clock costing of training histories."""
+
+import numpy as np
+import pytest
+
+from repro.federated import DeviceProfile, LinkModel, sample_fleet
+from repro.metrics import WallclockCurve, loss_vs_wallclock
+from repro.utils.logging import RunLogger
+
+LINK = LinkModel(uplink_bytes_per_s=1e6, downlink_bytes_per_s=1e6, latency_s=0.0)
+
+
+def make_history(losses):
+    log = RunLogger()
+    for i, loss in enumerate(losses):
+        log.log(i, global_meta_loss=loss)
+    return log
+
+
+class TestWallclockCurve:
+    def test_loss_at_budget(self):
+        curve = WallclockCurve(times=[0.0, 1.0, 2.0], losses=[3.0, 2.0, 1.0])
+        assert curve.loss_at(0.5) == 3.0
+        assert curve.loss_at(1.5) == 2.0
+        assert curve.loss_at(10.0) == 1.0
+
+    def test_loss_at_zero_budget_includes_time_zero(self):
+        curve = WallclockCurve(times=[0.0, 1.0], losses=[3.0, 2.0])
+        assert curve.loss_at(0.0) == 3.0
+
+    def test_time_to_reach(self):
+        curve = WallclockCurve(times=[0.0, 1.0, 2.0], losses=[3.0, 2.0, 1.0])
+        assert curve.time_to_reach(2.5) == 1.0
+        assert curve.time_to_reach(0.5) is None
+
+
+class TestLossVsWallclock:
+    def _fleet(self, speed=0.1):
+        return [DeviceProfile(0, speed, LINK), DeviceProfile(1, speed, LINK)]
+
+    def test_times_match_round_schedule(self):
+        history = make_history([3.0, 2.0, 1.0])  # 2 aggregations
+        curve = loss_vs_wallclock(
+            history, t0=10, fleet=self._fleet(0.1), upload_bytes=0
+        )
+        # each round: 10 steps * 0.1 s = 1 s compute, no transfer
+        assert curve.times == pytest.approx([0.0, 1.0, 2.0])
+        assert curve.losses == [3.0, 2.0, 1.0]
+
+    def test_larger_t0_rounds_take_longer_each(self):
+        history = make_history([3.0, 2.0])
+        fast = loss_vs_wallclock(history, t0=1, fleet=self._fleet(), upload_bytes=0)
+        slow = loss_vs_wallclock(history, t0=50, fleet=self._fleet(), upload_bytes=0)
+        assert slow.times[-1] > fast.times[-1]
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            loss_vs_wallclock(RunLogger(), t0=1, fleet=self._fleet(), upload_bytes=0)
+
+    def test_single_record_curve(self):
+        history = make_history([3.0])
+        curve = loss_vs_wallclock(history, t0=5, fleet=self._fleet(), upload_bytes=0)
+        assert curve.times == [0.0]
+
+    def test_upload_bytes_add_time(self):
+        history = make_history([3.0, 2.0])
+        free = loss_vs_wallclock(history, t0=5, fleet=self._fleet(), upload_bytes=0)
+        heavy = loss_vs_wallclock(
+            history, t0=5, fleet=self._fleet(), upload_bytes=10_000_000
+        )
+        assert heavy.times[-1] > free.times[-1]
+
+    def test_integrates_with_sampled_fleet(self):
+        history = make_history([3.0, 2.5, 2.0])
+        fleet = sample_fleet(10, np.random.default_rng(0))
+        curve = loss_vs_wallclock(history, t0=5, fleet=fleet, upload_bytes=5000)
+        assert len(curve.times) == 3
+        assert all(b > a for a, b in zip(curve.times, curve.times[1:]))

@@ -1,0 +1,105 @@
+"""Tests for loss functions and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, grad
+from repro.nn import accuracy, cross_entropy, mse, one_hot
+
+RNG = np.random.default_rng(1)
+
+
+class TestOneHot:
+    def test_values(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_non_1d_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_num_classes(self):
+        logits = Tensor(np.zeros((4, 5)))
+        labels = np.array([0, 1, 2, 3])
+        assert cross_entropy(logits, labels).item() == pytest.approx(np.log(5))
+
+    def test_confident_correct_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0]]))
+        assert cross_entropy(logits, np.array([0])).item() == pytest.approx(
+            0.0, abs=1e-8
+        )
+
+    def test_matches_manual_computation(self):
+        logits_np = RNG.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        shifted = logits_np - logits_np.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(3), labels].mean()
+        assert cross_entropy(Tensor(logits_np), labels).item() == pytest.approx(
+            expected
+        )
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        logits_np = RNG.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        logits = Tensor(logits_np, requires_grad=True)
+        (g,) = grad(cross_entropy(logits, labels), [logits])
+        shifted = logits_np - logits_np.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        expected = (probs - one_hot(labels, 4)) / 3.0
+        np.testing.assert_allclose(g.data, expected, rtol=1e-8)
+
+    def test_gradient_against_finite_differences(self):
+        labels = np.array([0, 2])
+        check_gradients(
+            lambda logits: cross_entropy(logits, labels),
+            [RNG.normal(size=(2, 3))],
+        )
+
+    def test_rejects_1d_logits(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+
+    def test_extreme_logits_stay_finite(self):
+        logits = Tensor(np.array([[1e4, -1e4], [-1e4, 1e4]]))
+        value = cross_entropy(logits, np.array([1, 0])).item()
+        assert np.isfinite(value)
+        assert value > 100
+
+
+class TestMSE:
+    def test_zero_for_equal(self):
+        x = Tensor(RNG.normal(size=(3, 2)))
+        assert mse(x, x.data).item() == 0.0
+
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_gradient(self):
+        target = RNG.normal(size=(4,))
+        check_gradients(lambda p: mse(p, target), [RNG.normal(size=(4,))])
+
+
+class TestAccuracy:
+    def test_from_logits(self):
+        logits = Tensor(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 1])) == 0.5
+
+    def test_from_hard_predictions(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(
+            2 / 3
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0, 1, 2]))

@@ -1,0 +1,186 @@
+"""Tests for functional models."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad
+from repro.nn import MLP, EmbeddingClassifier, LogisticRegression, cross_entropy
+from repro.nn.parameters import require_grad
+
+RNG = np.random.default_rng(0)
+
+
+class TestLogisticRegression:
+    def test_output_shape(self):
+        model = LogisticRegression(6, 4)
+        params = model.init(np.random.default_rng(0))
+        out = model.apply(params, RNG.normal(size=(5, 6)))
+        assert out.shape == (5, 4)
+
+    def test_init_is_deterministic_under_seed(self):
+        model = LogisticRegression(6, 4)
+        p1 = model.init(np.random.default_rng(3))
+        p2 = model.init(np.random.default_rng(3))
+        np.testing.assert_array_equal(p1["W"].data, p2["W"].data)
+
+    def test_bias_initialized_to_zero(self):
+        model = LogisticRegression(6, 4)
+        params = model.init(np.random.default_rng(0))
+        np.testing.assert_array_equal(params["b"].data, np.zeros(4))
+
+    def test_wrong_input_shape_raises(self):
+        model = LogisticRegression(6, 4)
+        params = model.init(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.apply(params, RNG.normal(size=(5, 7)))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(0, 4)
+        with pytest.raises(ValueError):
+            LogisticRegression(6, 1)
+
+    def test_predict_returns_argmax(self):
+        model = LogisticRegression(2, 3)
+        params = {
+            "W": Tensor(np.array([[10.0, 0.0, 0.0], [0.0, 10.0, 0.0]])),
+            "b": Tensor(np.zeros(3)),
+        }
+        preds = model.predict(params, np.array([[1.0, 0.0], [0.0, 1.0]]))
+        np.testing.assert_array_equal(preds, [0, 1])
+
+    def test_gradients_flow_to_all_parameters(self):
+        model = LogisticRegression(4, 3)
+        params = require_grad(model.init(np.random.default_rng(0)))
+        loss = cross_entropy(
+            model.apply(params, RNG.normal(size=(6, 4))),
+            RNG.integers(0, 3, size=6),
+        )
+        grads = grad(loss, list(params.values()))
+        assert all(g is not None for g in grads)
+
+
+class TestMLP:
+    def test_output_shape_and_param_names(self):
+        model = MLP(5, (8, 4), 3)
+        params = model.init(np.random.default_rng(0))
+        assert set(params) == {"W0", "b0", "W1", "b1", "W2", "b2"}
+        out = model.apply(params, RNG.normal(size=(7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_batch_norm_adds_gamma_beta(self):
+        model = MLP(5, (8,), 3, batch_norm=True)
+        params = model.init(np.random.default_rng(0))
+        assert "gamma0" in params and "beta0" in params
+        assert "gamma1" not in params  # no BN on the output layer
+
+    def test_batch_norm_normalizes_hidden_activations(self):
+        model = MLP(5, (8,), 3, batch_norm=True)
+        params = model.init(np.random.default_rng(0))
+        out = model.apply(params, RNG.normal(size=(32, 5)))
+        assert np.all(np.isfinite(out.data))
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            MLP(5, (8,), 3, activation="gelu")
+
+    def test_tanh_activation(self):
+        model = MLP(5, (8,), 3, activation="tanh")
+        params = model.init(np.random.default_rng(0))
+        out = model.apply(params, RNG.normal(size=(2, 5)))
+        assert out.shape == (2, 3)
+
+    def test_no_hidden_layers_reduces_to_linear(self):
+        model = MLP(5, (), 3)
+        params = model.init(np.random.default_rng(0))
+        x = RNG.normal(size=(2, 5))
+        expected = x @ params["W0"].data + params["b0"].data
+        np.testing.assert_allclose(model.apply(params, x).data, expected)
+
+    def test_second_order_gradients_through_mlp(self):
+        """MAML needs grad-of-grad through the full network."""
+        model = MLP(3, (4,), 2, activation="tanh")
+        params = require_grad(model.init(np.random.default_rng(0)))
+        x = RNG.normal(size=(5, 3))
+        y = RNG.integers(0, 2, size=5)
+        loss = cross_entropy(model.apply(params, x), y)
+        names = sorted(params)
+        grads = grad(loss, [params[n] for n in names], create_graph=True)
+        inner = sum((g * g).sum() for g in grads)
+        second = grad(inner, [params[n] for n in names], allow_unused=True)
+        assert any(s is not None and np.any(s.data != 0) for s in second)
+
+    def test_batch_norm_gradients_exist(self):
+        model = MLP(3, (4,), 2, batch_norm=True)
+        params = require_grad(model.init(np.random.default_rng(0)))
+        loss = cross_entropy(
+            model.apply(params, RNG.normal(size=(6, 3))),
+            RNG.integers(0, 2, size=6),
+        )
+        grads = grad(loss, [params["gamma0"], params["beta0"]])
+        assert all(np.all(np.isfinite(g.data)) for g in grads)
+
+
+class TestEmbeddingClassifier:
+    def _model(self):
+        return EmbeddingClassifier(
+            vocab_size=11, embed_dim=4, seq_len=6, hidden_dims=(8,),
+            num_classes=2, batch_norm=False, embedding_seed=1,
+        )
+
+    def test_embedding_is_frozen_and_not_in_params(self):
+        model = self._model()
+        params = model.init(np.random.default_rng(0))
+        assert not any("embed" in name.lower() for name in params)
+        assert not model.embedding.requires_grad
+
+    def test_apply_on_token_ids(self):
+        model = self._model()
+        params = model.init(np.random.default_rng(0))
+        ids = RNG.integers(0, 11, size=(3, 6))
+        out = model.apply(params, ids)
+        assert out.shape == (3, 2)
+
+    def test_apply_on_embedded_features(self):
+        model = self._model()
+        params = model.init(np.random.default_rng(0))
+        ids = RNG.integers(0, 11, size=(3, 6))
+        features = model.embed(ids)
+        out_ids = model.apply(params, ids)
+        out_feat = model.apply(params, features)
+        np.testing.assert_allclose(out_ids.data, out_feat.data)
+
+    def test_embed_shape(self):
+        model = self._model()
+        ids = RNG.integers(0, 11, size=(3, 6))
+        assert model.embed(ids).shape == (3, 24)
+
+    def test_embed_rejects_floats(self):
+        model = self._model()
+        with pytest.raises(TypeError):
+            model.embed(RNG.normal(size=(3, 6)))
+
+    def test_embed_rejects_wrong_seq_len(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.embed(RNG.integers(0, 11, size=(3, 5)))
+
+    def test_custom_embedding_matrix(self):
+        table = RNG.normal(size=(11, 4))
+        model = EmbeddingClassifier(
+            vocab_size=11, embed_dim=4, seq_len=6, hidden_dims=(8,),
+            num_classes=2, embedding=table,
+        )
+        np.testing.assert_array_equal(model.embedding.data, table)
+
+    def test_wrong_embedding_shape_raises(self):
+        with pytest.raises(ValueError):
+            EmbeddingClassifier(
+                vocab_size=11, embed_dim=4, seq_len=6, hidden_dims=(8,),
+                num_classes=2, embedding=RNG.normal(size=(5, 4)),
+            )
+
+    def test_same_embedding_seed_gives_same_table(self):
+        m1 = self._model()
+        m2 = self._model()
+        np.testing.assert_array_equal(m1.embedding.data, m2.embedding.data)

@@ -1,0 +1,143 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad
+from repro.nn import SGD, Adam
+from repro.nn.parameters import require_grad
+
+
+def quadratic_grad(params):
+    """Gradient of f(w) = 0.5 ||w||^2 is w itself."""
+    return {name: Tensor(t.data.copy()) for name, t in params.items()}
+
+
+def make_params(value=1.0):
+    return {"w": Tensor(np.full(3, value))}
+
+
+class TestSGD:
+    def test_plain_step(self):
+        opt = SGD(learning_rate=0.1)
+        out = opt.step(make_params(1.0), quadratic_grad(make_params(1.0)))
+        np.testing.assert_allclose(out["w"].data, np.full(3, 0.9))
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, momentum=1.0)
+
+    def test_key_mismatch_raises(self):
+        opt = SGD(learning_rate=0.1)
+        with pytest.raises(KeyError):
+            opt.step(make_params(), {"v": Tensor(np.zeros(3))})
+
+    def test_momentum_accelerates_constant_gradient(self):
+        plain = SGD(learning_rate=0.1)
+        momentum = SGD(learning_rate=0.1, momentum=0.9)
+        g = {"w": Tensor(np.ones(3))}
+        p_plain, p_mom = make_params(0.0), make_params(0.0)
+        for _ in range(5):
+            p_plain = plain.step(p_plain, g)
+            p_mom = momentum.step(p_mom, g)
+        assert p_mom["w"].data[0] < p_plain["w"].data[0]
+
+    def test_reset_clears_velocity(self):
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        p = opt.step(make_params(0.0), {"w": Tensor(np.ones(3))})
+        opt.reset()
+        p2 = opt.step(make_params(0.0), {"w": Tensor(np.ones(3))})
+        np.testing.assert_allclose(p2["w"].data, np.full(3, -0.1))
+
+    def test_converges_on_quadratic(self):
+        opt = SGD(learning_rate=0.3)
+        params = make_params(5.0)
+        for _ in range(50):
+            params = opt.step(params, quadratic_grad(params))
+        assert np.abs(params["w"].data).max() < 1e-6
+
+    def test_step_returns_detached_leaves(self):
+        opt = SGD(learning_rate=0.1)
+        out = opt.step(make_params(), quadratic_grad(make_params()))
+        assert out["w"].is_leaf()
+        assert not out["w"].requires_grad
+
+
+class TestAdam:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-1.0)
+
+    def test_first_step_size_is_learning_rate(self):
+        # With bias correction, |first update| == lr for any nonzero gradient.
+        opt = Adam(learning_rate=0.1)
+        out = opt.step(make_params(0.0), {"w": Tensor(np.full(3, 7.0))})
+        np.testing.assert_allclose(out["w"].data, np.full(3, -0.1), rtol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        opt = Adam(learning_rate=0.2)
+        params = make_params(5.0)
+        for _ in range(200):
+            params = opt.step(params, quadratic_grad(params))
+        assert np.abs(params["w"].data).max() < 1e-3
+
+    def test_reset(self):
+        opt = Adam(learning_rate=0.1)
+        opt.step(make_params(), quadratic_grad(make_params()))
+        opt.reset()
+        assert opt._t == 0
+
+    def test_trains_logistic_regression(self):
+        from repro.nn import LogisticRegression, cross_entropy
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 4))
+        w_true = rng.normal(size=(4, 3))
+        y = np.argmax(x @ w_true, axis=1)
+        model = LogisticRegression(4, 3)
+        params = model.init(rng)
+        opt = Adam(learning_rate=0.05)
+        first_loss = None
+        for _ in range(100):
+            theta = require_grad(params)
+            loss = cross_entropy(model.apply(theta, x), y)
+            if first_loss is None:
+                first_loss = loss.item()
+            names = sorted(theta)
+            grads = dict(zip(names, grad(loss, [theta[n] for n in names])))
+            params = opt.step(params, grads)
+        final_loss = cross_entropy(model.apply(params, x), y).item()
+        assert final_loss < first_loss * 0.5
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_params_with_zero_gradient(self):
+        opt = SGD(learning_rate=0.1, weight_decay=0.5)
+        params = make_params(1.0)
+        zero = {"w": Tensor(np.zeros(3))}
+        out = opt.step(params, zero)
+        np.testing.assert_allclose(out["w"].data, np.full(3, 0.95))
+
+    def test_zero_decay_matches_plain_sgd(self):
+        plain = SGD(learning_rate=0.1)
+        decayed = SGD(learning_rate=0.1, weight_decay=0.0)
+        g = quadratic_grad(make_params())
+        np.testing.assert_allclose(
+            plain.step(make_params(), g)["w"].data,
+            decayed.step(make_params(), g)["w"].data,
+        )
+
+    def test_negative_decay_raises(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, weight_decay=-0.1)
+
+    def test_decay_composes_with_momentum(self):
+        opt = SGD(learning_rate=0.1, momentum=0.9, weight_decay=0.5)
+        params = make_params(1.0)
+        zero = {"w": Tensor(np.zeros(3))}
+        out = opt.step(params, zero)
+        np.testing.assert_allclose(out["w"].data, np.full(3, 0.95))

@@ -1,0 +1,83 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.nn import ConstantSchedule, CosineSchedule, StepDecaySchedule
+
+
+class TestConstant:
+    def test_always_base(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule(0) == schedule(1000) == 0.1
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestStepDecay:
+    def test_decays_every_interval(self):
+        schedule = StepDecaySchedule(1.0, factor=0.5, every=10)
+        assert schedule(0) == 1.0
+        assert schedule(9) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_factor_one_is_constant(self):
+        schedule = StepDecaySchedule(0.3, factor=1.0, every=5)
+        assert schedule(100) == 0.3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": 0.0, "factor": 0.5, "every": 10},
+            {"base": 1.0, "factor": 0.0, "every": 10},
+            {"base": 1.0, "factor": 1.5, "every": 10},
+            {"base": 1.0, "factor": 0.5, "every": 0},
+        ],
+    )
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ValueError):
+            StepDecaySchedule(**kwargs)
+
+    def test_negative_step_raises(self):
+        with pytest.raises(ValueError):
+            StepDecaySchedule(1.0, 0.5, 10)(-1)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        schedule = CosineSchedule(1.0, horizon=100, floor=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(1000) == pytest.approx(0.1)  # clamped past horizon
+
+    def test_halfway_is_midpoint(self):
+        schedule = CosineSchedule(1.0, horizon=100, floor=0.0)
+        assert schedule(50) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineSchedule(1.0, horizon=50)
+        values = [schedule(s) for s in range(51)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, horizon=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, horizon=10, floor=1.0)
+
+    def test_works_with_optimizer(self):
+        """Schedules drive the optimizer's learning rate step by step."""
+        import numpy as np
+
+        from repro.autodiff import Tensor
+        from repro.nn import SGD
+
+        schedule = CosineSchedule(0.5, horizon=10)
+        opt = SGD(learning_rate=schedule(0))
+        params = {"w": Tensor(np.ones(2))}
+        for step in range(10):
+            opt.learning_rate = schedule(step)
+            params = opt.step(params, {"w": Tensor(np.ones(2))})
+        assert params["w"].data[0] < 1.0

@@ -1,0 +1,91 @@
+"""Tests for Theorem 3 (adaptation performance bound)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.data import Dataset
+from repro.nn import LogisticRegression
+from repro.theory import (
+    estimate_gradient_sample_error,
+    surrogate_difference,
+    theorem3_bound,
+)
+
+
+class TestTheorem3Bound:
+    def test_formula(self):
+        # αHε + H(1+αH)(ε_c + ‖θt*−θc*‖)
+        value = theorem3_bound(
+            alpha=0.1, smoothness=2.0, epsilon_sample=0.5,
+            epsilon_convergence=0.3, surrogate_diff=1.0,
+        )
+        amplification = 2.0 * (1 + 0.1 * 2.0)
+        expected = 0.1 * 2.0 * 0.5 + amplification * (0.3 + 1.0)
+        assert value == pytest.approx(expected)
+
+    def test_zero_everything_gives_zero(self):
+        assert theorem3_bound(0.0, 1.0, 0.0, 0.0, 0.0) == 0.0
+
+    def test_monotone_in_each_term(self):
+        base = theorem3_bound(0.1, 2.0, 0.5, 0.3, 1.0)
+        assert theorem3_bound(0.1, 2.0, 0.9, 0.3, 1.0) > base
+        assert theorem3_bound(0.1, 2.0, 0.5, 0.9, 1.0) > base
+        assert theorem3_bound(0.1, 2.0, 0.5, 0.3, 2.0) > base
+
+    def test_negative_inputs_raise(self):
+        with pytest.raises(ValueError):
+            theorem3_bound(-0.1, 2.0, 0.5, 0.3, 1.0)
+
+
+class TestGradientSampleError:
+    def _population(self, n=300):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, 6))
+        w = rng.normal(size=(6, 3))
+        y = np.argmax(x @ w, axis=1)
+        return Dataset(x=x, y=y)
+
+    def test_error_shrinks_with_k(self):
+        """Theorem 3: ε = ε(K) decreases with the target sample size."""
+        model = LogisticRegression(6, 3)
+        params = model.init(np.random.default_rng(1))
+        population = self._population()
+        rng = np.random.default_rng(2)
+        small = estimate_gradient_sample_error(
+            model, params, population, k=5, rng=rng, num_draws=20
+        )
+        large = estimate_gradient_sample_error(
+            model, params, population, k=100, rng=rng, num_draws=20
+        )
+        assert large.epsilon_mean < small.epsilon_mean
+
+    def test_full_population_has_zero_error(self):
+        model = LogisticRegression(6, 3)
+        params = model.init(np.random.default_rng(1))
+        population = self._population(50)
+        est = estimate_gradient_sample_error(
+            model, params, population, k=50,
+            rng=np.random.default_rng(0), num_draws=3,
+        )
+        assert est.epsilon_mean == pytest.approx(0.0, abs=1e-10)
+
+    def test_invalid_k_raises(self):
+        model = LogisticRegression(6, 3)
+        params = model.init(np.random.default_rng(1))
+        population = self._population(20)
+        with pytest.raises(ValueError):
+            estimate_gradient_sample_error(
+                model, params, population, k=21, rng=np.random.default_rng(0)
+            )
+
+
+class TestSurrogateDifference:
+    def test_zero_for_identical(self):
+        params = {"w": Tensor(np.ones(4))}
+        assert surrogate_difference(params, params) == 0.0
+
+    def test_matches_l2(self):
+        a = {"w": Tensor(np.zeros(4))}
+        b = {"w": Tensor(np.full(4, 2.0))}
+        assert surrogate_difference(a, b) == pytest.approx(4.0)

@@ -1,0 +1,156 @@
+"""Tests for the paper's bounds (Lemma 1, Theorems 1–4)."""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    contraction_factor,
+    h_error_term,
+    lemma1_constants,
+    max_inner_learning_rate,
+    max_meta_learning_rate,
+    theorem1_dissimilarity_bound,
+    theorem2_bound,
+    theorem4_lambda_threshold,
+)
+
+# A representative strongly-convex landscape.
+MU, H, RHO, B = 1.0, 4.0, 0.5, 2.0
+
+
+class TestLemma1:
+    def test_alpha_limit_formula(self):
+        expected = min(MU / (2 * MU * H + RHO * B), 1 / MU)
+        assert max_inner_learning_rate(MU, H, RHO, B) == pytest.approx(expected)
+
+    def test_constants_at_alpha_zero_limit(self):
+        consts = lemma1_constants(1e-12, MU, H, RHO, B)
+        assert consts.mu_prime == pytest.approx(MU, rel=1e-6)
+        assert consts.h_prime == pytest.approx(H, rel=1e-6)
+
+    def test_valid_alpha_keeps_strong_convexity(self):
+        alpha = max_inner_learning_rate(MU, H, RHO, B)
+        consts = lemma1_constants(alpha, MU, H, RHO, B)
+        assert consts.is_strongly_convex
+
+    def test_mu_prime_below_mu_and_h_prime_formula(self):
+        consts = lemma1_constants(0.05, MU, H, RHO, B)
+        assert consts.mu_prime < MU
+        assert consts.h_prime == pytest.approx(
+            H * (1 - 0.05 * MU) ** 2 + 0.05 * RHO * B
+        )
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            lemma1_constants(0.0, MU, H, RHO, B)
+        with pytest.raises(ValueError):
+            lemma1_constants(0.05, -1.0, H, RHO, B)
+
+
+class TestTheorem1:
+    def test_zero_dissimilarity_gives_zero_bound(self):
+        assert theorem1_dissimilarity_bound(0.05, H, B, 0.0, 0.0, 0.0) == 0.0
+
+    def test_monotone_in_delta_and_sigma(self):
+        base = theorem1_dissimilarity_bound(0.05, H, B, 0.1, 0.1, 0.01)
+        more_delta = theorem1_dissimilarity_bound(0.05, H, B, 0.2, 0.1, 0.01)
+        more_sigma = theorem1_dissimilarity_bound(0.05, H, B, 0.1, 0.2, 0.01)
+        assert more_delta > base
+        assert more_sigma > base
+
+    def test_reduces_to_delta_at_alpha_zero_limit(self):
+        value = theorem1_dissimilarity_bound(0.0, H, B, 0.3, 0.1, 0.01)
+        assert value == pytest.approx(0.3)
+
+
+class TestTheorem2:
+    def _consts(self, alpha=0.05):
+        return lemma1_constants(alpha, MU, H, RHO, B)
+
+    def test_contraction_in_unit_interval_for_valid_beta(self):
+        consts = self._consts()
+        beta = 0.5 * max_meta_learning_rate(consts)
+        assert 0.0 < contraction_factor(beta, consts) < 1.0
+
+    def test_h_is_zero_at_t0_one(self):
+        consts = self._consts()
+        h = h_error_term(1, 0.05, 0.05, consts, H, B, 0.1, 0.1, 0.01)
+        assert h == pytest.approx(0.0, abs=1e-12)
+
+    def test_h_increases_with_t0(self):
+        consts = self._consts()
+        values = [
+            h_error_term(t0, 0.05, 0.05, consts, H, B, 0.1, 0.1, 0.01)
+            for t0 in (1, 2, 5, 10, 20)
+        ]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_h_increases_with_dissimilarity(self):
+        consts = self._consts()
+        low = h_error_term(10, 0.05, 0.05, consts, H, B, 0.05, 0.05, 0.0)
+        high = h_error_term(10, 0.05, 0.05, consts, H, B, 0.5, 0.5, 0.0)
+        assert high > low
+
+    def test_bound_decreases_with_t_at_t0_one(self):
+        consts = self._consts()
+        beta = 0.5 * max_meta_learning_rate(consts)
+        kwargs = dict(
+            t0=1, initial_gap=1.0, alpha=0.05, beta=beta, mu=MU,
+            constants=consts, smoothness=H, b=B, delta=0.1, sigma=0.1, tau=0.01,
+        )
+        b100 = theorem2_bound(total_iterations=100, **kwargs)
+        b500 = theorem2_bound(total_iterations=500, **kwargs)
+        assert b500 < b100
+
+    def test_corollary1_no_steady_state_error(self):
+        consts = self._consts()
+        beta = 0.5 * max_meta_learning_rate(consts)
+        bound = theorem2_bound(
+            total_iterations=10_000, t0=1, initial_gap=1.0, alpha=0.05,
+            beta=beta, mu=MU, constants=consts, smoothness=H, b=B,
+            delta=0.5, sigma=0.5, tau=0.25,
+        )
+        assert bound == pytest.approx(0.0, abs=1e-6)
+
+    def test_steady_state_error_grows_with_t0(self):
+        consts = self._consts()
+        beta = 0.5 * max_meta_learning_rate(consts)
+        kwargs = dict(
+            total_iterations=100_000, initial_gap=1.0, alpha=0.05, beta=beta,
+            mu=MU, constants=consts, smoothness=H, b=B,
+            delta=0.1, sigma=0.1, tau=0.01,
+        )
+        bounds = [theorem2_bound(t0=t0, **kwargs) for t0 in (2, 5, 10)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_invalid_beta_rejected(self):
+        consts = self._consts()
+        beta = 10.0 * max_meta_learning_rate(consts)
+        with pytest.raises(ValueError):
+            theorem2_bound(
+                total_iterations=10, t0=2, initial_gap=1.0, alpha=0.05,
+                beta=beta, mu=MU, constants=consts, smoothness=H, b=B,
+                delta=0.1, sigma=0.1, tau=0.01,
+            )
+
+    def test_meta_rate_requires_strong_convexity(self):
+        from repro.theory import MetaObjectiveConstants
+
+        with pytest.raises(ValueError):
+            max_meta_learning_rate(MetaObjectiveConstants(mu_prime=-0.1, h_prime=1.0))
+
+
+class TestTheorem4:
+    def test_threshold_formula(self):
+        assert theorem4_lambda_threshold(2.0, 1.0, 1.5, 0.5) == pytest.approx(
+            2.0 + 1.0 * 1.5 / 0.5
+        )
+
+    def test_threshold_decreases_with_mu(self):
+        low_mu = theorem4_lambda_threshold(2.0, 1.0, 1.5, 0.1)
+        high_mu = theorem4_lambda_threshold(2.0, 1.0, 1.5, 10.0)
+        assert high_mu < low_mu
+
+    def test_invalid_mu_raises(self):
+        with pytest.raises(ValueError):
+            theorem4_lambda_threshold(2.0, 1.0, 1.5, 0.0)

@@ -1,0 +1,186 @@
+"""Tests for empirical constant estimation (HVPs, smoothness, similarity)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.nn import LogisticRegression, mse
+from repro.nn.parameters import from_vector, to_vector
+from repro.theory import (
+    estimate_similarity,
+    estimate_smoothness,
+    hessian_vector_product,
+    loss_gradient_vector,
+)
+
+
+def quadratic_setup():
+    """A linear-regression node whose MSE Hessian is known in closed form.
+
+    Model: logits = x @ W with one output; loss = mean((x w - y)^2).
+    Hessian wrt w is 2 X^T X / n.
+    """
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(30, 5))
+    w_true = rng.normal(size=5)
+    y = x @ w_true
+    return x, y, w_true
+
+
+class _LinearModel:
+    """Minimal functional model: predictions = x @ w."""
+
+    output_dim = 1
+
+    def init(self, rng):
+        from repro.autodiff import Tensor
+
+        return {"w": Tensor(rng.normal(size=(5, 1)))}
+
+    def apply(self, params, x):
+        from repro.autodiff import Tensor, ops
+
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        return ops.matmul(x, params["w"])
+
+
+def regression_loss(predictions, targets):
+    return mse(predictions.reshape((predictions.shape[0],)), np.asarray(targets))
+
+
+class TestHVP:
+    def test_matches_closed_form_quadratic_hessian(self):
+        x, y, _ = quadratic_setup()
+        model = _LinearModel()
+        params = model.init(np.random.default_rng(1))
+        data = Dataset(x=x, y=y)
+        hessian = 2.0 * x.T @ x / len(x)
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            v = rng.normal(size=5)
+            hv = hessian_vector_product(
+                model, params, data, v, loss_fn=regression_loss
+            )
+            np.testing.assert_allclose(hv, hessian @ v, rtol=1e-8)
+
+    def test_gradient_vector_matches_closed_form(self):
+        x, y, _ = quadratic_setup()
+        model = _LinearModel()
+        params = model.init(np.random.default_rng(1))
+        data = Dataset(x=x, y=y)
+        g = loss_gradient_vector(model, params, data, loss_fn=regression_loss)
+        w = params["w"].data.reshape(-1)
+        expected = 2.0 * x.T @ (x @ w - y) / len(x)
+        np.testing.assert_allclose(g, expected, rtol=1e-8)
+
+    def test_hvp_is_linear_in_v(self):
+        x, y, _ = quadratic_setup()
+        model = _LinearModel()
+        params = model.init(np.random.default_rng(1))
+        data = Dataset(x=x, y=y)
+        rng = np.random.default_rng(3)
+        v1, v2 = rng.normal(size=5), rng.normal(size=5)
+        h1 = hessian_vector_product(model, params, data, v1, loss_fn=regression_loss)
+        h2 = hessian_vector_product(model, params, data, v2, loss_fn=regression_loss)
+        h12 = hessian_vector_product(
+            model, params, data, v1 + 2 * v2, loss_fn=regression_loss
+        )
+        np.testing.assert_allclose(h12, h1 + 2 * h2, rtol=1e-8)
+
+
+class TestSmoothnessEstimation:
+    def test_quadratic_constants(self):
+        """For f(w) = mean((xw−y)²): H = λ_max(2XᵀX/n), μ = λ_min, ρ = 0."""
+        x, y, _ = quadratic_setup()
+        model = _LinearModel()
+        data = Dataset(x=x, y=y)
+        hessian = 2.0 * x.T @ x / len(x)
+        eigs = np.linalg.eigvalsh(hessian)
+        est = estimate_smoothness(
+            model, data, np.random.default_rng(0), num_points=10,
+            loss_fn=regression_loss,
+        )
+        # Sampled ratios land inside [λ_min, λ_max].
+        assert est.smoothness <= eigs[-1] * 1.01
+        assert est.smoothness >= eigs[0] * 0.99
+        assert est.mu >= eigs[0] * 0.9
+        assert est.mu <= eigs[-1] * 1.01
+        assert est.hessian_lipschitz == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_bound_positive(self):
+        x, y, _ = quadratic_setup()
+        est = estimate_smoothness(
+            _LinearModel(), Dataset(x=x, y=y), np.random.default_rng(0),
+            loss_fn=regression_loss,
+        )
+        assert est.gradient_bound > 0
+
+
+class TestSimilarityEstimation:
+    def _nodes(self, shift):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 5))
+        w = rng.normal(size=5)
+        nodes = []
+        for i in range(3):
+            w_i = w + shift * i
+            nodes.append(Dataset(x=x, y=x @ w_i))
+        return nodes
+
+    def test_identical_nodes_have_zero_dissimilarity(self):
+        nodes = self._nodes(shift=0.0)
+        model = _LinearModel()
+        params = model.init(np.random.default_rng(1))
+        sim = estimate_similarity(
+            model, params, nodes, [1 / 3] * 3, np.random.default_rng(2),
+            loss_fn=regression_loss,
+        )
+        np.testing.assert_allclose(sim.delta, 0.0, atol=1e-10)
+        np.testing.assert_allclose(sim.sigma, 0.0, atol=1e-10)
+
+    def test_dissimilarity_grows_with_heterogeneity(self):
+        model = _LinearModel()
+        params = model.init(np.random.default_rng(1))
+        sims = []
+        for shift in (0.1, 1.0):
+            sim = estimate_similarity(
+                model, params, self._nodes(shift), [1 / 3] * 3,
+                np.random.default_rng(2), loss_fn=regression_loss,
+            )
+            sims.append(sim.delta_mean)
+        assert sims[1] > sims[0]
+
+    def test_weighted_aggregates(self):
+        model = _LinearModel()
+        params = model.init(np.random.default_rng(1))
+        sim = estimate_similarity(
+            model, params, self._nodes(0.5), [0.2, 0.3, 0.5],
+            np.random.default_rng(2), loss_fn=regression_loss,
+        )
+        delta, sigma, tau = sim.weighted([0.2, 0.3, 0.5])
+        assert delta >= 0 and sigma >= 0 and tau >= 0
+        manual = 0.2 * sim.delta[0] + 0.3 * sim.delta[1] + 0.5 * sim.delta[2]
+        assert delta == pytest.approx(manual)
+
+    def test_synthetic_alpha_knob_orders_dissimilarity(self):
+        """δ measured on Synthetic(α̃) grows with α̃ — links theory to data."""
+        from repro.data import SyntheticConfig, generate_synthetic
+        from repro.nn import LogisticRegression, cross_entropy
+
+        model = LogisticRegression(10, 4)
+        params = model.init(np.random.default_rng(0))
+        deltas = {}
+        for alpha in (0.0, 1.0):
+            fed = generate_synthetic(
+                SyntheticConfig(
+                    alpha=alpha, beta=0.0, num_nodes=12, input_dim=10,
+                    num_classes=4, mean_samples=30, seed=5,
+                )
+            )
+            sim = estimate_similarity(
+                model, params, fed.nodes, [1 / 12] * 12,
+                np.random.default_rng(1), num_probes=2,
+            )
+            deltas[alpha] = sim.delta_mean
+        assert deltas[1.0] > deltas[0.0]

@@ -1,0 +1,77 @@
+"""Tests for run checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn.parameters import to_vector
+from repro.utils import load_checkpoint, save_checkpoint
+
+
+def make_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"W": Tensor(rng.normal(size=(5, 3))), "b": Tensor(rng.normal(size=3))}
+
+
+class TestCheckpoint:
+    def test_roundtrip_params(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        params = make_params()
+        save_checkpoint(path, params, {"iteration": 42})
+        restored = load_checkpoint(path)
+        np.testing.assert_array_equal(to_vector(restored.params), to_vector(params))
+
+    def test_state_and_iteration(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        save_checkpoint(path, make_params(), {"iteration": 7, "t0": 5})
+        restored = load_checkpoint(path)
+        assert restored.iteration == 7
+        assert restored.state["t0"] == 5
+
+    def test_missing_iteration_is_none(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        save_checkpoint(path, make_params())
+        assert load_checkpoint(path).iteration is None
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        save_checkpoint(path, make_params(0), {"iteration": 1})
+        save_checkpoint(path, make_params(1), {"iteration": 2})
+        restored = load_checkpoint(path)
+        assert restored.iteration == 2
+        np.testing.assert_array_equal(
+            to_vector(restored.params), to_vector(make_params(1))
+        )
+        assert not (tmp_path / "run.ckpt.tmp").exists()
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError):
+            load_checkpoint(str(path))
+
+    def test_resume_training_equivalence(self, tmp_path):
+        """Training N+M iterations == training N, checkpointing, resuming M."""
+        from repro.core import FedML, FedMLConfig
+        from repro.data import SyntheticConfig, generate_synthetic
+        from repro.nn import LogisticRegression
+
+        fed = generate_synthetic(
+            SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=6, mean_samples=15, seed=3)
+        )
+        sources = list(range(6))
+        model = LogisticRegression(60, 10)
+        base = dict(alpha=0.05, beta=0.05, t0=5, k=5, seed=0, eval_every=10**9)
+
+        full = FedML(model, FedMLConfig(total_iterations=20, **base)).fit(fed, sources)
+
+        first = FedML(model, FedMLConfig(total_iterations=10, **base)).fit(fed, sources)
+        path = str(tmp_path / "mid.ckpt")
+        save_checkpoint(path, first.params, {"iteration": 10})
+        restored = load_checkpoint(path)
+        resumed = FedML(model, FedMLConfig(total_iterations=10, **base)).fit(
+            fed, sources, init_params=restored.params
+        )
+        np.testing.assert_allclose(
+            to_vector(resumed.params), to_vector(full.params), rtol=1e-12
+        )

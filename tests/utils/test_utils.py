@@ -1,0 +1,129 @@
+"""Tests for RNG streams, serialization, and run logging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.utils import (
+    RngFactory,
+    RunLogger,
+    deserialize_params,
+    payload_bytes,
+    serialize_params,
+    spawn,
+)
+
+
+class TestRngFactory:
+    def test_same_names_same_stream(self):
+        factory = RngFactory(7)
+        a = factory.stream("data", 3).normal(size=5)
+        b = factory.stream("data", 3).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        factory = RngFactory(7)
+        a = factory.stream("data", 3).normal(size=5)
+        b = factory.stream("data", 4).normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x").normal(size=5)
+        b = RngFactory(2).stream("x").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_string_names_are_stable(self):
+        a = spawn(0, "alpha", "beta").integers(0, 1000, size=3)
+        b = spawn(0, "alpha", "beta").integers(0, 1000, size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_repr(self):
+        assert "seed=9" in repr(RngFactory(9))
+
+
+class TestSerialization:
+    def _params(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return {
+            "W": Tensor(rng.normal(size=(4, 3))),
+            "b": Tensor(rng.normal(size=3)),
+            "scalar": Tensor(rng.normal()),
+        }
+
+    def test_roundtrip(self):
+        params = self._params()
+        back = deserialize_params(serialize_params(params))
+        assert set(back) == set(params)
+        for name in params:
+            np.testing.assert_array_equal(back[name].data, params[name].data)
+
+    def test_roundtrip_preserves_shapes(self):
+        back = deserialize_params(serialize_params(self._params()))
+        assert back["W"].shape == (4, 3)
+        assert back["scalar"].shape == ()
+
+    def test_payload_bytes_dominated_by_data(self):
+        params = self._params()
+        data_bytes = sum(t.data.nbytes for t in params.values())
+        total = payload_bytes(params)
+        assert total > data_bytes
+        assert total < data_bytes + 200  # header overhead is small
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(ValueError):
+            deserialize_params(b"XXXX" + b"\x00" * 16)
+
+    def test_deserialized_are_plain_leaves(self):
+        back = deserialize_params(serialize_params(self._params()))
+        assert all(t.is_leaf() and not t.requires_grad for t in back.values())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, seed):
+        params = self._params(seed)
+        back = deserialize_params(serialize_params(params))
+        for name in params:
+            np.testing.assert_array_equal(back[name].data, params[name].data)
+
+
+class TestRunLogger:
+    def test_series_extraction(self):
+        log = RunLogger()
+        log.log(0, loss=1.0)
+        log.log(1, loss=0.5, acc=0.9)
+        assert log.series("loss") == [1.0, 0.5]
+        assert log.series("acc") == [0.9]
+
+    def test_steps_filtered_by_key(self):
+        log = RunLogger()
+        log.log(0, loss=1.0)
+        log.log(5, acc=0.9)
+        assert log.steps() == [0, 5]
+        assert log.steps("acc") == [5]
+
+    def test_last(self):
+        log = RunLogger()
+        log.log(0, loss=1.0)
+        log.log(1, loss=0.25)
+        assert log.last("loss") == 0.25
+
+    def test_last_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            RunLogger().last("loss")
+
+    def test_table_renders_rows(self):
+        log = RunLogger()
+        for i in range(5):
+            log.log(i, loss=1.0 / (i + 1))
+        table = log.table(["loss"])
+        assert "loss" in table
+        assert len(table.splitlines()) >= 3
+
+    def test_table_subsamples_long_runs(self):
+        log = RunLogger()
+        for i in range(200):
+            log.log(i, loss=float(i))
+        table = log.table(["loss"], max_rows=10)
+        assert len(table.splitlines()) <= 25
