@@ -17,6 +17,7 @@ Public surface
 
 from . import ops
 from .check import check_gradients, check_second_order, numerical_gradient
+from .profile import TapeProfiler, profile_ops
 from .ops import (
     abs_,
     add,
@@ -64,6 +65,8 @@ __all__ = [
     "check_gradients",
     "check_second_order",
     "numerical_gradient",
+    "TapeProfiler",
+    "profile_ops",
     "abs_",
     "add",
     "as_tensor",

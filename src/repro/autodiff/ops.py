@@ -61,9 +61,17 @@ def as_tensor(value) -> Tensor:
     return Tensor(np.asarray(value, dtype=np.float64))
 
 
+# Profiling hook installed by repro.autodiff.profile.profile_ops(); called as
+# hook(op_name, num_elements, requires_grad) for every op output.  Kept as a
+# single module-level slot so the disabled path costs one None check.
+_PROFILE_HOOK = None
+
+
 def _make(data: np.ndarray, parents: Sequence[Tensor], vjps, op_name: str) -> Tensor:
     """Build an op output, pruning the graph when no parent requires grad."""
     requires = any(p.requires_grad for p in parents)
+    if _PROFILE_HOOK is not None:
+        _PROFILE_HOOK(op_name, data.size, requires)
     if not requires:
         return Tensor(data)
     pruned = [v if p.requires_grad else None for p, v in zip(parents, vjps)]

@@ -14,6 +14,12 @@ Compare algorithms::
 Print workload statistics (Table I)::
 
     python -m repro.cli stats --dataset sent140 --nodes 100
+
+Record telemetry (spans, per-round byte accounting) and summarize it::
+
+    python -m repro.cli train --algorithm fedml --dataset synthetic \
+        --telemetry-out run.jsonl
+    python -m repro.cli report run.jsonl
 """
 
 from __future__ import annotations
@@ -52,6 +58,14 @@ from .data import (
 )
 from .metrics import format_table, target_splits
 from .nn import EmbeddingClassifier, LogisticRegression, Model
+from .obs import (
+    JsonlFileSink,
+    StdoutSink,
+    Telemetry,
+    load_records,
+    render_report,
+    summarize,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -93,7 +107,25 @@ def _build_model(args: argparse.Namespace, federated: FederatedDataset) -> Model
     )
 
 
-def _build_trainer(args: argparse.Namespace, model: Model):
+def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """Construct the run's collector from ``--telemetry-out`` (default off)."""
+    path = getattr(args, "telemetry_out", None)
+    if not path:
+        return None
+    sink = StdoutSink() if path == "-" else JsonlFileSink(path)
+    telemetry = Telemetry(sink=sink)
+    config = {
+        k: v
+        for k, v in vars(args).items()
+        if k != "func" and isinstance(v, (str, int, float, bool, type(None)))
+    }
+    telemetry.emit_metadata(config=config, seed=args.seed)
+    return telemetry
+
+
+def _build_trainer(
+    args: argparse.Namespace, model: Model, telemetry: Optional[Telemetry] = None
+):
     if args.algorithm == "fedml":
         return FedML(
             model,
@@ -103,6 +135,7 @@ def _build_trainer(args: argparse.Namespace, model: Model):
                 first_order=args.first_order, eval_every=args.eval_every,
                 seed=args.seed,
             ),
+            telemetry=telemetry,
         )
     if args.algorithm == "robust-fedml":
         return RobustFedML(
@@ -113,6 +146,7 @@ def _build_trainer(args: argparse.Namespace, model: Model):
                 lam=args.lam, nu=args.nu, ta=args.ta, n0=args.n0,
                 r_max=args.r_max, eval_every=args.eval_every, seed=args.seed,
             ),
+            telemetry=telemetry,
         )
     if args.algorithm == "fedavg":
         return FedAvg(
@@ -122,6 +156,7 @@ def _build_trainer(args: argparse.Namespace, model: Model):
                 total_iterations=args.iterations, eval_every=args.eval_every,
                 seed=args.seed,
             ),
+            telemetry=telemetry,
         )
     if args.algorithm == "fedprox":
         return FedProx(
@@ -191,8 +226,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
     sources, targets = federated.split_sources_targets(
         args.source_fraction, np.random.default_rng(args.split_seed)
     )
-    trainer = _build_trainer(args, model)
-    result = trainer.fit(federated, sources)
+    telemetry = _build_telemetry(args)
+    trainer = _build_trainer(args, model, telemetry)
+    # Trainers without a telemetry argument still get platform-level byte
+    # accounting: the platform carries its own optional collector.
+    if telemetry is not None and getattr(trainer, "platform", None) is not None:
+        if trainer.platform.telemetry is None:
+            trainer.platform.telemetry = telemetry
+
+    if args.profile_tape:
+        from .autodiff.profile import profile_ops
+
+        with profile_ops() as tape_profile:
+            result = trainer.fit(federated, sources)
+        if telemetry is not None:
+            tape_profile.to_registry(telemetry.registry)
+        if not args.json:
+            print(tape_profile.summary(top=10))
+    else:
+        result = trainer.fit(federated, sources)
 
     history = result.history
     loss_key = (
@@ -219,6 +271,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "adaptation_losses": curve.losses,
         "adaptation_accuracies": curve.accuracies,
     }
+    if telemetry is not None:
+        telemetry.close()
     if args.json:
         print(json.dumps(payload))
         return 0
@@ -233,6 +287,41 @@ def _cmd_train(args: argparse.Namespace) -> int:
         for step in range(len(curve.losses))
     ]
     print(format_table(["adapt steps", "target loss", "target acc"], rows))
+    if telemetry is not None and args.telemetry_out != "-":
+        print(f"telemetry written to {args.telemetry_out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        records = load_records(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize(records)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "records": len(records),
+                    "meta": summary.meta,
+                    "spans": summary.spans,
+                    "counters": summary.counters,
+                    "gauges": summary.gauges,
+                    "histograms": summary.histograms,
+                    "series": [
+                        {
+                            "name": s["name"],
+                            "labels": s.get("labels", {}),
+                            "points": len(s.get("values", [])),
+                        }
+                        for s in summary.series
+                    ],
+                }
+            )
+        )
+        return 0
+    print(render_report(summary))
     return 0
 
 
@@ -289,7 +378,23 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--mu-prox", type=float, default=0.1)
     # ADML knob.
     train.add_argument("--epsilon", type=float, default=0.1)
+    # Observability.
+    train.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="write telemetry JSONL to PATH ('-' for stdout); default off",
+    )
+    train.add_argument(
+        "--profile-tape", action="store_true",
+        help="profile autodiff op counts and per-op-type time during training",
+    )
     train.set_defaults(func=_cmd_train)
+
+    report = sub.add_parser(
+        "report", help="summarise a telemetry JSONL file into text tables"
+    )
+    report.add_argument("path", help="telemetry file written by --telemetry-out")
+    report.add_argument("--json", action="store_true", help="emit JSON")
+    report.set_defaults(func=_cmd_report)
 
     return parser
 
@@ -297,7 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Reports piped into `head` close stdout early; exit quietly.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from ..federated.simulation import DeviceProfile
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
 from ..nn.parameters import Params, add_scaled, detach
+from ..obs.telemetry import Telemetry, resolve
 from ..utils.logging import RunLogger
 from ..utils.serialization import payload_bytes
 from .maml import LossFn, meta_gradient, meta_loss
@@ -97,10 +98,12 @@ class AsyncFedML:
         model: Model,
         config: AsyncFedMLConfig,
         loss_fn: LossFn = cross_entropy,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.model = model
         self.config = config
         self.loss_fn = loss_fn
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def _local_contribution(self, node: EdgeNode, start: Params) -> Params:
@@ -158,8 +161,20 @@ class AsyncFedML:
         )
         upload_bytes = payload_bytes(global_params)
         global_version = 0
-        history = RunLogger(name="async-fedml")
+        tel = resolve(self.telemetry)
+        history = RunLogger(
+            name="async-fedml",
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
         history.log(0, global_meta_loss=self.global_meta_loss(global_params, nodes))
+
+        uploads_total = tel.counter("fl_uploads_total", algorithm="async-fedml")
+        bytes_up = tel.counter("fl_bytes_up_total", algorithm="async-fedml")
+        staleness_hist = tel.histogram(
+            "fl_staleness",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+            algorithm="async-fedml",
+        )
 
         # Event queue: (finish_time, node_index, version_started_from).
         events: List = []
@@ -176,9 +191,13 @@ class AsyncFedML:
         while uploads < cfg.total_uploads and events:
             finish_time, idx, started_version = heapq.heappop(events)
             node = nodes[idx]
-            contribution = self._local_contribution(node, pending[idx])
+            with tel.span("local_steps", node=idx):
+                contribution = self._local_contribution(node, pending[idx])
+            uploads_total.inc()
+            bytes_up.inc(upload_bytes)
 
             staleness = global_version - started_version
+            staleness_hist.observe(staleness)
             eta = cfg.mixing / (1.0 + staleness) ** cfg.staleness_power
             global_params = {
                 name: type(global_params[name])(
@@ -205,6 +224,9 @@ class AsyncFedML:
             duration = fleet[idx].round_time(cfg.t0, upload_bytes)
             heapq.heappush(events, (finish_time + duration, idx, global_version))
 
+        tel.gauge("fl_sim_total_seconds", algorithm="async-fedml").set(
+            result.total_time
+        )
         result.params = detach(global_params)
         history.log(
             uploads,

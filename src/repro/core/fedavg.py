@@ -23,6 +23,7 @@ from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
 from ..nn.parameters import Params, add_scaled, detach, require_grad
+from ..obs.telemetry import Telemetry, resolve
 from ..utils.logging import RunLogger
 from .maml import LossFn
 
@@ -68,6 +69,7 @@ class FedAvg:
         loss_fn: LossFn = cross_entropy,
         platform: Optional[Platform] = None,
         participation=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -76,6 +78,9 @@ class FedAvg:
         self.participation = (
             participation if participation is not None else FullParticipation()
         )
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
 
     def _local_gradient(self, params: Params, data: Dataset) -> Params:
         theta = require_grad(params)
@@ -120,33 +125,56 @@ class FedAvg:
             detach(init_params) if init_params is not None else self.model.init(rng)
         )
         self.platform.initialize(params, nodes)
-        history = RunLogger(name="fedavg", verbose=verbose)
+        tel = resolve(self.telemetry)
+        history = RunLogger(
+            name="fedavg",
+            verbose=verbose,
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
         history.log(0, global_loss=self.global_loss(params, nodes), uplink_bytes=0)
 
         full_data = {
             node.node_id: node.split.train.concat(node.split.test) for node in nodes
         }
 
+        rounds_total = tel.counter("fl_rounds_total", algorithm="fedavg")
+        steps_total = tel.counter("fl_local_steps_total", algorithm="fedavg")
+        fit_span = tel.span("fit", algorithm="fedavg")
+        round_span = tel.span("round")
         aggregations = 0
         for t in range(1, cfg.total_iterations + 1):
-            for node in nodes:
-                assert node.params is not None
-                gradient = self._local_gradient(node.params, full_data[node.node_id])
-                node.params = add_scaled(node.params, gradient, -cfg.learning_rate)
-                node.record_local_step(gradient_evals=1)
-            if t % cfg.t0 == 0:
-                participating = self.participation.select(nodes, t // cfg.t0)
-                aggregated = self.platform.aggregate(participating)
+            with tel.span("local_steps"):
                 for node in nodes:
-                    if node not in participating:
-                        node.params = detach(aggregated)
-                aggregations += 1
-                if aggregations % cfg.eval_every == 0:
-                    history.log(
-                        t,
-                        global_loss=self.global_loss(aggregated, nodes),
-                        uplink_bytes=self.platform.comm_log.uplink_bytes,
+                    assert node.params is not None
+                    gradient = self._local_gradient(
+                        node.params, full_data[node.node_id]
                     )
+                    node.params = add_scaled(
+                        node.params, gradient, -cfg.learning_rate
+                    )
+                    node.record_local_step(gradient_evals=1)
+                steps_total.inc(len(nodes))
+            if t % cfg.t0 == 0:
+                with tel.span("aggregate"):
+                    participating = self.participation.select(nodes, t // cfg.t0)
+                    aggregated = self.platform.aggregate(participating)
+                    for node in nodes:
+                        if node not in participating:
+                            node.params = detach(aggregated)
+                aggregations += 1
+                rounds_total.inc()
+                if aggregations % cfg.eval_every == 0:
+                    with tel.span("evaluate"):
+                        history.log(
+                            t,
+                            global_loss=self.global_loss(aggregated, nodes),
+                            uplink_bytes=self.platform.comm_log.uplink_bytes,
+                        )
+                round_span.end()
+                if t < cfg.total_iterations:
+                    round_span = tel.span("round")
+        round_span.end()
+        fit_span.end()
 
         final = self.platform.global_params
         if final is None:

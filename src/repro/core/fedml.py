@@ -28,6 +28,7 @@ from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
 from ..nn.parameters import Params, add_scaled, detach
+from ..obs.telemetry import Telemetry, resolve
 from ..utils.logging import RunLogger
 from .maml import LossFn, meta_gradient, meta_loss
 
@@ -108,6 +109,7 @@ class FedML:
         loss_fn: LossFn = cross_entropy,
         platform: Optional[Platform] = None,
         participation=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -116,6 +118,9 @@ class FedML:
         self.participation = (
             participation if participation is not None else FullParticipation()
         )
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def build_source_nodes(
@@ -167,6 +172,7 @@ class FedML:
         """Run Algorithm 1 and return the learned initialization."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        tel = resolve(self.telemetry)
         nodes = self.build_source_nodes(federated, source_ids)
 
         params = (
@@ -174,29 +180,49 @@ class FedML:
         )
         self.platform.initialize(params, nodes)
 
-        history = RunLogger(name="fedml", verbose=verbose)
+        history = RunLogger(
+            name="fedml",
+            verbose=verbose,
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
         initial = self.global_meta_loss(self.platform.global_params, nodes)
         history.log(0, global_meta_loss=initial, uplink_bytes=0)
 
+        rounds_total = tel.counter("fl_rounds_total", algorithm="fedml")
+        steps_total = tel.counter("fl_local_steps_total", algorithm="fedml")
+        fit_span = tel.span("fit", algorithm="fedml")
+        round_span = tel.span("round")
         aggregations = 0
         for t in range(1, cfg.total_iterations + 1):
-            for node in nodes:
-                self.local_step(node)
-            if t % cfg.t0 == 0:
-                participating = self.participation.select(nodes, t // cfg.t0)
-                aggregated = self.platform.aggregate(participating)
-                # Nodes outside the participating set resynchronize too —
-                # the paper broadcasts theta^{t+1} to all of S.
+            with tel.span("local_steps"):
                 for node in nodes:
-                    if node not in participating:
-                        node.params = detach(aggregated)
+                    self.local_step(node)
+                steps_total.inc(len(nodes))
+            if t % cfg.t0 == 0:
+                with tel.span("aggregate"):
+                    participating = self.participation.select(nodes, t // cfg.t0)
+                    aggregated = self.platform.aggregate(participating)
+                    # Nodes outside the participating set resynchronize too —
+                    # the paper broadcasts theta^{t+1} to all of S.
+                    for node in nodes:
+                        if node not in participating:
+                            node.params = detach(aggregated)
                 aggregations += 1
+                rounds_total.inc()
                 if aggregations % cfg.eval_every == 0:
-                    history.log(
-                        t,
-                        global_meta_loss=self.global_meta_loss(aggregated, nodes),
-                        uplink_bytes=self.platform.comm_log.uplink_bytes,
-                    )
+                    with tel.span("evaluate"):
+                        history.log(
+                            t,
+                            global_meta_loss=self.global_meta_loss(
+                                aggregated, nodes
+                            ),
+                            uplink_bytes=self.platform.comm_log.uplink_bytes,
+                        )
+                round_span.end()
+                if t < cfg.total_iterations:
+                    round_span = tel.span("round")
+        round_span.end()
+        fit_span.end()
 
         final = self.platform.global_params
         if final is None:  # T < T0: no aggregation happened; average manually

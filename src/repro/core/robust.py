@@ -27,6 +27,7 @@ from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
 from ..nn.parameters import Params, add_scaled, detach
+from ..obs.telemetry import Telemetry, resolve
 from ..utils.logging import RunLogger
 from .fedml import FedMLConfig
 from .maml import LossFn, inner_adapt, meta_gradient, meta_loss
@@ -113,6 +114,7 @@ class RobustFedML:
         loss_fn: LossFn = cross_entropy,
         platform: Optional[Platform] = None,
         participation=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -121,6 +123,9 @@ class RobustFedML:
         self.participation = (
             participation if participation is not None else FullParticipation()
         )
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def _generate_adversarial(self, node: EdgeNode, rng: np.random.Generator) -> None:
@@ -235,42 +240,75 @@ class RobustFedML:
             detach(init_params) if init_params is not None else self.model.init(rng)
         )
         self.platform.initialize(params, nodes)
-        history = RunLogger(name="robust-fedml", verbose=verbose)
+        tel = resolve(self.telemetry)
+        history = RunLogger(
+            name="robust-fedml",
+            verbose=verbose,
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
         history.log(
             0,
             global_meta_loss=self.global_meta_loss(params, nodes),
             adversarial_samples=0,
         )
 
+        rounds_total = tel.counter("fl_rounds_total", algorithm="robust-fedml")
+        steps_total = tel.counter("fl_local_steps_total", algorithm="robust-fedml")
+        adv_total = tel.counter(
+            "fl_adversarial_samples_total", algorithm="robust-fedml"
+        )
+        fit_span = tel.span("fit", algorithm="robust-fedml")
+        round_span = tel.span("round")
         generation_rounds = {node.node_id: 0 for node in nodes}
         generation_period = cfg.n0 * cfg.t0
         aggregations = 0
         for t in range(1, cfg.total_iterations + 1):
-            for node in nodes:
-                self.local_step(node)
+            with tel.span("local_steps"):
+                for node in nodes:
+                    self.local_step(node)
+                steps_total.inc(len(nodes))
             if t % cfg.t0 == 0:
-                participating = self.participation.select(nodes, t // cfg.t0)
-                aggregated = self.platform.aggregate(participating)
-                for node in nodes:
-                    if node not in participating:
-                        node.params = detach(aggregated)
+                with tel.span("aggregate"):
+                    participating = self.participation.select(nodes, t // cfg.t0)
+                    aggregated = self.platform.aggregate(participating)
+                    for node in nodes:
+                        if node not in participating:
+                            node.params = detach(aggregated)
                 aggregations += 1
+                rounds_total.inc()
                 if aggregations % cfg.eval_every == 0:
-                    history.log(
-                        t,
-                        global_meta_loss=self.global_meta_loss(aggregated, nodes),
-                        adversarial_samples=float(
-                            sum(
-                                0 if n.adversarial is None else len(n.adversarial)
-                                for n in nodes
-                            )
-                        ),
-                    )
+                    with tel.span("evaluate"):
+                        history.log(
+                            t,
+                            global_meta_loss=self.global_meta_loss(
+                                aggregated, nodes
+                            ),
+                            adversarial_samples=float(
+                                sum(
+                                    0
+                                    if n.adversarial is None
+                                    else len(n.adversarial)
+                                    for n in nodes
+                                )
+                            ),
+                        )
+                round_span.end()
+                if t < cfg.total_iterations:
+                    round_span = tel.span("round")
             if t % generation_period == 0:
-                for node in nodes:
-                    if generation_rounds[node.node_id] < cfg.r_max:
-                        self._generate_adversarial(node, rng)
-                        generation_rounds[node.node_id] += 1
+                with tel.span("generate_adversarial"):
+                    for node in nodes:
+                        if generation_rounds[node.node_id] < cfg.r_max:
+                            before = (
+                                0
+                                if node.adversarial is None
+                                else len(node.adversarial)
+                            )
+                            self._generate_adversarial(node, rng)
+                            generation_rounds[node.node_id] += 1
+                            adv_total.inc(len(node.adversarial) - before)
+        round_span.end()
+        fit_span.end()
 
         final = self.platform.global_params
         if final is None:

@@ -14,7 +14,32 @@ import numpy as np
 from ..autodiff import Tensor
 from ..nn.parameters import Params, weighted_average
 
-__all__ = ["weighted_mean", "coordinate_median", "trimmed_mean"]
+__all__ = [
+    "weighted_mean",
+    "coordinate_median",
+    "trimmed_mean",
+    "instrument_aggregator",
+]
+
+
+def instrument_aggregator(aggregator, telemetry):
+    """Wrap an aggregation rule with a timing span and a tree counter.
+
+    With disabled telemetry the original callable is returned unchanged, so
+    the platform's hot path pays nothing.  The span is labelled with the
+    rule's name so mixed-rule runs (e.g. robust benches) stay attributable.
+    """
+    if not telemetry.enabled:
+        return aggregator
+    rule = getattr(aggregator, "__name__", type(aggregator).__name__)
+
+    def wrapped(trees: Sequence[Params], weights: Sequence[float]) -> Params:
+        with telemetry.span("aggregate_rule", rule=rule):
+            out = aggregator(trees, weights)
+        telemetry.counter("fl_aggregated_trees_total", rule=rule).inc(len(trees))
+        return out
+
+    return wrapped
 
 
 def weighted_mean(trees: Sequence[Params], weights: Sequence[float]) -> Params:

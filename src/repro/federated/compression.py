@@ -152,10 +152,16 @@ class CompressedPlatform(Platform):
     def aggregate(self, nodes):  # type: ignore[override]
         if not nodes:
             raise ValueError("cannot aggregate with zero participating nodes")
+        from ..nn.parameters import num_bytes
+        from ..obs.telemetry import resolve
+
+        tel = resolve(self.telemetry)
         self.rounds_completed += 1
         round_index = self.rounds_completed
 
         trees = []
+        compressed_bytes = 0
+        raw_bytes = 0
         for node in nodes:
             if node.params is None:
                 raise RuntimeError(
@@ -163,7 +169,18 @@ class CompressedPlatform(Platform):
                 )
             blob = self.compressor.compress(node.params)
             self.comm_log.charge_upload(round_index, node.node_id, len(blob))
+            compressed_bytes += len(blob)
+            if tel.enabled:
+                raw_bytes += num_bytes(node.params)
             trees.append(self.compressor.decompress(blob))
+        tel.counter("fl_bytes_up_total").inc(compressed_bytes)
+        tel.counter("fl_uploads_total").inc(len(trees))
+        tel.gauge("fl_participants").set(len(nodes))
+        if tel.enabled and compressed_bytes:
+            tel.counter("fl_bytes_up_raw_total").inc(raw_bytes)
+            tel.series("fl_compression_ratio").observe(
+                round_index, raw_bytes / compressed_bytes
+            )
 
         weights = np.array([node.weight for node in nodes], dtype=np.float64)
         weights = weights / weights.sum()

@@ -15,8 +15,9 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry, resolve
 from ..utils.serialization import deserialize_params, serialize_params
-from .aggregation import weighted_mean
+from .aggregation import instrument_aggregator, weighted_mean
 from .network import CommunicationLog, LinkModel
 from .node import EdgeNode
 
@@ -34,6 +35,8 @@ class Platform:
     comm_log: CommunicationLog = field(init=False)
     global_params: Optional[Params] = None
     rounds_completed: int = field(default=0)
+    #: optional observability collector; ``None`` keeps every hook a no-op
+    telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
         self.comm_log = CommunicationLog(link=self.link)
@@ -53,6 +56,7 @@ class Platform:
         """
         if not nodes:
             raise ValueError("cannot aggregate with zero participating nodes")
+        tel = resolve(self.telemetry)
         self.rounds_completed += 1
         round_index = self.rounds_completed
 
@@ -63,11 +67,15 @@ class Platform:
             blob = serialize_params(node.params)
             self.comm_log.charge_upload(round_index, node.node_id, len(blob))
             blobs.append(blob)
+        tel.counter("fl_bytes_up_total").inc(sum(len(b) for b in blobs))
+        tel.counter("fl_uploads_total").inc(len(blobs))
+        tel.gauge("fl_participants").set(len(nodes))
 
         trees = [deserialize_params(blob) for blob in blobs]
         weights = np.array([node.weight for node in nodes], dtype=np.float64)
         weights = weights / weights.sum()
-        self.global_params = self.aggregator(trees, weights.tolist())
+        aggregator = instrument_aggregator(self.aggregator, tel)
+        self.global_params = aggregator(trees, weights.tolist())
         self._broadcast(nodes, round_index)
         return self.global_params
 
@@ -85,3 +93,6 @@ class Platform:
         for node in nodes:
             self.comm_log.charge_download(round_index, node.node_id, len(blob))
             node.params = deserialize_params(blob)
+        resolve(self.telemetry).counter("fl_bytes_down_total").inc(
+            len(blob) * len(nodes)
+        )

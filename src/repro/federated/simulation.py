@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.telemetry import Telemetry, resolve
 from .network import LinkModel
 
 __all__ = [
@@ -128,6 +129,7 @@ def simulate_synchronous_rounds(
     upload_bytes: int,
     deadline_s: Optional[float] = None,
     min_participants: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> FleetTimeline:
     """Simulate ``num_rounds`` synchronous FedAvg/FedML-style rounds.
 
@@ -144,6 +146,7 @@ def simulate_synchronous_rounds(
     if min_participants < 1 or min_participants > len(fleet):
         raise ValueError("min_participants must be in [1, len(fleet)]")
 
+    tel = resolve(telemetry)
     timeline = FleetTimeline()
     clock = 0.0
     broadcast = max(d.link.download_time(upload_bytes) for d in fleet)
@@ -177,5 +180,10 @@ def simulate_synchronous_rounds(
                 stragglers_dropped=dropped,
             )
         )
+        tel.counter("sim_rounds_total").inc()
+        tel.counter("sim_stragglers_dropped_total").inc(len(dropped))
+        tel.histogram("sim_round_seconds").observe(finished - clock)
+        tel.series("sim_participants").observe(round_index, len(participants))
         clock = finished
+    tel.gauge("sim_total_seconds").set(timeline.total_time)
     return timeline

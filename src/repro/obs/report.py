@@ -1,0 +1,184 @@
+"""Summarize a telemetry JSONL file into text tables.
+
+Backs ``python -m repro.cli report run.jsonl``: reads the records a
+:class:`~repro.obs.sink.JsonlFileSink` produced (one metadata header, span
+records streamed during the run, metric snapshots from the final flush) and
+renders where the time and the bytes went.
+
+Deliberately dependency-free (it re-implements a tiny table formatter rather
+than importing :mod:`repro.metrics`) so the reporting path never drags the
+training stack into a monitoring context.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["TelemetrySummary", "load_records", "summarize", "render_report"]
+
+
+class TelemetrySummary:
+    """Parsed + aggregated view of one telemetry file."""
+
+    def __init__(self) -> None:
+        self.meta: Optional[dict] = None
+        #: span name -> {"count", "total", "max"}
+        self.spans: "OrderedDict[str, dict]" = OrderedDict()
+        self.counters: List[dict] = []
+        self.gauges: List[dict] = []
+        self.histograms: List[dict] = []
+        self.series: List[dict] = []
+        self.unknown: int = 0
+
+    def add(self, record: dict) -> None:
+        kind = record.get("type")
+        if kind == "meta":
+            self.meta = record
+        elif kind == "span":
+            entry = self.spans.setdefault(
+                record.get("name", "?"), {"count": 0, "total": 0.0, "max": 0.0}
+            )
+            duration = float(record.get("duration", 0.0))
+            entry["count"] += 1
+            entry["total"] += duration
+            entry["max"] = max(entry["max"], duration)
+        elif kind == "counter":
+            self.counters.append(record)
+        elif kind == "gauge":
+            self.gauges.append(record)
+        elif kind == "histogram":
+            self.histograms.append(record)
+        elif kind == "series":
+            self.series.append(record)
+        else:
+            self.unknown += 1
+
+
+def load_records(path: str) -> List[dict]:
+    """Read a JSONL telemetry file; raises ``ValueError`` on a bad line."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON ({exc.msg})"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{line_number}: record is not an object")
+            records.append(record)
+    return records
+
+
+def summarize(records: Sequence[dict]) -> TelemetrySummary:
+    summary = TelemetrySummary()
+    for record in records:
+        summary.add(record)
+    return summary
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.6g}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_report(summary: TelemetrySummary) -> str:
+    """Render the whole summary as sectioned text tables."""
+    sections: List[str] = []
+
+    if summary.meta is not None:
+        meta = summary.meta
+        lines = ["run metadata"]
+        for key in ("timestamp_iso", "git_sha", "seed"):
+            if meta.get(key) is not None:
+                lines.append(f"  {key}: {meta[key]}")
+        config = meta.get("config") or {}
+        if config:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+            lines.append(f"  config: {rendered}")
+        sections.append("\n".join(lines))
+
+    if summary.spans:
+        rows = [
+            [name, s["count"], s["total"], s["total"] / s["count"], s["max"]]
+            for name, s in summary.spans.items()
+        ]
+        rows.sort(key=lambda r: r[2], reverse=True)
+        sections.append(
+            "spans\n"
+            + _table(["name", "count", "total_s", "mean_s", "max_s"], rows)
+        )
+
+    if summary.counters:
+        rows = [
+            [r["name"] + _label_suffix(r.get("labels", {})), r.get("value", 0.0)]
+            for r in summary.counters
+        ]
+        sections.append("counters\n" + _table(["name", "value"], rows))
+
+    if summary.gauges:
+        rows = [
+            [r["name"] + _label_suffix(r.get("labels", {})), r.get("value", 0.0)]
+            for r in summary.gauges
+        ]
+        sections.append("gauges\n" + _table(["name", "value"], rows))
+
+    if summary.histograms:
+        rows = []
+        for r in summary.histograms:
+            count = r.get("count", 0)
+            total = r.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            rows.append(
+                [r["name"] + _label_suffix(r.get("labels", {})), count, total, mean]
+            )
+        sections.append(
+            "histograms\n" + _table(["name", "count", "sum", "mean"], rows)
+        )
+
+    if summary.series:
+        rows = []
+        for r in summary.series:
+            values = r.get("values", [])
+            rows.append(
+                [
+                    r["name"] + _label_suffix(r.get("labels", {})),
+                    len(values),
+                    values[0] if values else "-",
+                    values[-1] if values else "-",
+                ]
+            )
+        sections.append(
+            "series\n" + _table(["name", "points", "first", "last"], rows)
+        )
+
+    if not sections:
+        return "telemetry file contains no records"
+    return "\n\n".join(sections)

@@ -1,0 +1,72 @@
+"""Telemetry sinks: where records go once produced.
+
+A sink receives plain-dict records (spans as they close, metric snapshots on
+flush, one metadata header per run) and is responsible for persistence.  The
+protocol is two methods — ``emit(record)`` and ``close()`` — so adding a
+network or database exporter later does not touch the instrumentation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover - ancient interpreter fallback
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = ["TelemetrySink", "JsonlFileSink", "StdoutSink", "MemorySink"]
+
+
+class TelemetrySink(Protocol):
+    """Anything that can accept telemetry records."""
+
+    def emit(self, record: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class JsonlFileSink:
+    """Appends one JSON object per line to a file (created/truncated)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError(f"sink for '{self.path}' is closed")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class StdoutSink:
+    """Prints each record as a JSON line — handy for piping into jq."""
+
+    def emit(self, record: dict) -> None:
+        print(json.dumps(record, sort_keys=True))
+
+    def close(self) -> None:
+        return None
+
+
+class MemorySink:
+    """Keeps records in a list; the test and notebook sink."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_type(self, record_type: str) -> List[dict]:
+        return [r for r in self.records if r.get("type") == record_type]

@@ -3,39 +3,72 @@
 A :class:`RunLogger` collects ``(step, metrics)`` records and can render a
 compact text table — enough for the benchmark harness to print the series a
 paper figure reports without pulling in a plotting stack.
+
+Under the hood the logger is a thin adapter over the observability layer's
+:class:`~repro.obs.metrics.MetricRegistry`: every logged metric is stored as
+a named :class:`~repro.obs.metrics.Series` in the registry.  Pass the
+registry of an active :class:`~repro.obs.Telemetry` and the trainer's loss
+curves ride along in the telemetry export for free; with no registry given
+the logger owns a private one and behaves exactly as before.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.metrics import MetricRegistry
+
 __all__ = ["RunLogger"]
 
 
 class RunLogger:
-    """Accumulates per-step metric dictionaries."""
+    """Accumulates per-step metric dictionaries backed by registry series."""
 
-    def __init__(self, name: str = "run", verbose: bool = False) -> None:
+    def __init__(
+        self,
+        name: str = "run",
+        verbose: bool = False,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
         self.name = name
         self.verbose = verbose
-        self.records: List[Dict[str, float]] = []
+        self.registry = registry if registry is not None else MetricRegistry()
+        #: ordered (step, keys) of each log() call, to reconstruct records
+        self._entries: List[tuple] = []
 
     def log(self, step: int, **metrics: float) -> None:
-        record = {"step": float(step)}
-        record.update({k: float(v) for k, v in metrics.items()})
-        self.records.append(record)
+        step = int(step)
+        self._entries.append((step, tuple(metrics)))
+        for key, value in metrics.items():
+            self.registry.series(key, run=self.name).observe(step, float(value))
         if self.verbose:
             rendered = ", ".join(f"{k}={v:.4f}" for k, v in metrics.items())
             print(f"[{self.name}] step {step}: {rendered}")
 
+    @property
+    def records(self) -> List[Dict[str, float]]:
+        """Per-call ``{"step": ..., metric: ...}`` dicts (legacy view)."""
+        cursor = {key: 0 for _, keys in self._entries for key in keys}
+        out: List[Dict[str, float]] = []
+        for step, keys in self._entries:
+            record: Dict[str, float] = {"step": float(step)}
+            for key in keys:
+                series = self.registry.series(key, run=self.name)
+                record[key] = series.values[cursor[key]]
+                cursor[key] += 1
+            out.append(record)
+        return out
+
     def series(self, key: str) -> List[float]:
         """Extract the time series for one metric (skipping absent steps)."""
-        return [r[key] for r in self.records if key in r]
+        metric = self.registry.get(key, run=self.name)
+        return list(metric.values) if metric is not None else []
 
     def steps(self, key: Optional[str] = None) -> List[int]:
         if key is None:
-            return [int(r["step"]) for r in self.records]
-        return [int(r["step"]) for r in self.records if key in r]
+            return [step for step, _ in self._entries]
+        metric = self.registry.get(key, run=self.name)
+        return [int(s) for s in metric.steps] if metric is not None else []
 
     def last(self, key: str) -> float:
         values = self.series(key)
@@ -48,7 +81,12 @@ class RunLogger:
         rows = [r for r in self.records if all(k in r for k in keys)]
         if len(rows) > max_rows:
             stride = max(1, len(rows) // max_rows)
-            rows = rows[::stride] + ([rows[-1]] if rows[-1] not in rows[::stride] else [])
+            # Subsample by *index* (value comparison would drop a final row
+            # that happens to equal a sampled one, or keep duplicates).
+            indices = list(range(0, len(rows), stride))
+            if indices[-1] != len(rows) - 1:
+                indices.append(len(rows) - 1)
+            rows = [rows[i] for i in indices]
         header = ["step"] + list(keys)
         lines = ["  ".join(f"{h:>12}" for h in header)]
         for r in rows:

@@ -1,0 +1,34 @@
+"""Shared test fixtures, including the instrumentation-overhead guard.
+
+The observability layer promises near-zero cost when disabled.  To keep
+future instrumentation honest, ``tests/obs/test_noop_overhead.py`` uses the
+fixtures here to compare the measured per-call cost of the no-op telemetry
+primitives against the wall time of a short training run.  Timing fixtures
+take the *minimum* over repeats — the standard micro-benchmark estimator for
+the noise-free cost on a shared machine.
+"""
+
+import time
+
+import pytest
+
+
+@pytest.fixture
+def best_of():
+    """Return ``best_of(fn, repeats=3) -> seconds``: min wall time of fn()."""
+
+    def timer(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return timer
+
+
+@pytest.fixture
+def noop_overhead_budget():
+    """Maximum fraction of a run's wall time the no-op telemetry may cost."""
+    return 0.05

@@ -131,3 +131,72 @@ class TestSynchronousRounds:
         assert timeline.total_time == 0.0
         assert timeline.mean_round_time == 0.0
         assert timeline.participation_rate(5) == 0.0
+
+
+class TestStragglerDeadlinePath:
+    """Direct coverage of the deadline/straggler branch (previously only
+    exercised indirectly through the benchmarks)."""
+
+    def test_deadline_drops_exactly_the_slowest_device(self):
+        # 10 steps each: 1 s, 2 s, 50 s — deadline 5 s cuts only device 2.
+        fleet = fixed_fleet([0.1, 0.2, 5.0])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=3, local_steps_per_round=10, upload_bytes=0,
+            deadline_s=5.0,
+        )
+        for outcome in timeline.rounds:
+            assert outcome.participants == [0, 1]
+            assert outcome.stragglers_dropped == [2]
+        # Round closes on the slowest *surviving* device (2 s), not on the
+        # dropped straggler (50 s).
+        assert timeline.rounds[0].duration == pytest.approx(2.0)
+
+    def test_min_participants_overrides_deadline_with_fastest_devices(self):
+        fleet = fixed_fleet([0.3, 0.1, 0.2])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=1, local_steps_per_round=10, upload_bytes=0,
+            deadline_s=0.5, min_participants=2,
+        )
+        # Nobody makes the 0.5 s deadline; the two fastest are kept anyway.
+        assert timeline.rounds[0].participants == [1, 2]
+        assert timeline.rounds[0].stragglers_dropped == [0]
+
+    def test_participants_and_dropped_partition_the_fleet(self):
+        fleet = fixed_fleet([0.1, 0.5, 1.0, 2.0])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=2, local_steps_per_round=10, upload_bytes=0,
+            deadline_s=6.0,
+        )
+        all_ids = {d.device_id for d in fleet}
+        for outcome in timeline.rounds:
+            assert set(outcome.participants) | set(outcome.stragglers_dropped) == all_ids
+            assert set(outcome.participants) & set(outcome.stragglers_dropped) == set()
+
+    def test_timeline_is_monotone_and_contiguous(self):
+        fleet = fixed_fleet([0.1, 0.4, 2.5])
+        timeline = simulate_synchronous_rounds(
+            fleet, num_rounds=5, local_steps_per_round=7, upload_bytes=10_000,
+            deadline_s=2.0,
+        )
+        previous_end = 0.0
+        for i, outcome in enumerate(timeline.rounds):
+            assert outcome.round_index == i + 1
+            assert outcome.started_at == pytest.approx(previous_end)
+            assert outcome.finished_at > outcome.started_at
+            previous_end = outcome.finished_at
+        assert timeline.total_time == pytest.approx(previous_end)
+
+    def test_telemetry_records_straggler_accounting(self):
+        from repro.obs import MemorySink, Telemetry
+
+        telemetry = Telemetry(sink=MemorySink())
+        fleet = fixed_fleet([0.1, 10.0])
+        simulate_synchronous_rounds(
+            fleet, num_rounds=3, local_steps_per_round=10, upload_bytes=0,
+            deadline_s=5.0, telemetry=telemetry,
+        )
+        registry = telemetry.registry
+        assert registry.get("sim_rounds_total").value == 3
+        assert registry.get("sim_stragglers_dropped_total").value == 3
+        assert registry.get("sim_round_seconds").count == 3
+        assert registry.get("sim_total_seconds").value > 0

@@ -1,0 +1,144 @@
+"""Tests for the metric primitives and registry."""
+
+import pytest
+
+from repro.obs import MetricRegistry, parse_prometheus
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricRegistry()
+        counter = registry.counter("events_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        counter = MetricRegistry().counter("events_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_labels_create_distinct_children(self):
+        registry = MetricRegistry()
+        a = registry.counter("c", algorithm="fedml")
+        b = registry.counter("c", algorithm="fedavg")
+        a.inc(3)
+        assert a is not b
+        assert b.value == 0.0
+        # label order must not matter
+        assert registry.counter("d", x="1", y="2") is registry.counter(
+            "d", y="2", x="1"
+        )
+
+    def test_type_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+        with pytest.raises(TypeError):
+            registry.histogram("m")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == pytest.approx(3.0)
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        hist = MetricRegistry().histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 100.0):
+            hist.observe(value)
+        # cumulative: <=1 -> {0.5, 1.0}; <=2 adds {1.5, 2.0}; <=5 adds {4.9, 5.0}
+        assert hist.bucket_counts == [2, 4, 6]
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 100.0)
+        assert hist.mean == pytest.approx(hist.sum / 7)
+
+    def test_bucket_edges_fixed_and_validated(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("dup", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("empty", buckets=())
+
+    def test_default_buckets_used_when_unspecified(self):
+        hist = MetricRegistry().histogram("h")
+        assert len(hist.buckets) > 0
+        assert list(hist.buckets) == sorted(hist.buckets)
+
+
+class TestSeries:
+    def test_observe_keeps_history(self):
+        series = MetricRegistry().series("loss")
+        series.observe(0, 1.0)
+        series.observe(5, 0.5)
+        assert series.steps == [0.0, 5.0]
+        assert series.values == [1.0, 0.5]
+        assert series.last() == 0.5
+
+    def test_empty_last_raises(self):
+        with pytest.raises(KeyError):
+            MetricRegistry().series("loss").last()
+
+
+class TestSnapshot:
+    def test_snapshot_records_are_json_ready(self):
+        import json
+
+        registry = MetricRegistry()
+        registry.counter("c", algorithm="fedml").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.series("s").observe(0, 3.0)
+        records = registry.snapshot()
+        assert [r["type"] for r in records] == [
+            "counter", "gauge", "histogram", "series",
+        ]
+        json.dumps(records)  # must not raise
+        counter = records[0]
+        assert counter["labels"] == {"algorithm": "fedml"}
+        assert counter["value"] == 2.0
+
+
+class TestPrometheusExposition:
+    def test_round_trip(self):
+        registry = MetricRegistry()
+        registry.counter("fl_rounds_total", algorithm="fedml").inc(4)
+        registry.gauge("fl_participants").set(8)
+        hist = registry.histogram("round_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(2.0)
+        registry.series("loss").observe(0, 0.25)
+
+        text = registry.to_prometheus()
+        samples = parse_prometheus(text)
+
+        assert samples['fl_rounds_total{algorithm="fedml"}'] == 4
+        assert samples["fl_participants"] == 8
+        assert samples['round_seconds_bucket{le="0.1"}'] == 1
+        assert samples['round_seconds_bucket{le="1"}'] == 2
+        assert samples['round_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["round_seconds_count"] == 3
+        assert samples["round_seconds_sum"] == pytest.approx(2.55)
+        assert samples["loss"] == pytest.approx(0.25)
+
+    def test_type_lines_present_once_per_name(self):
+        registry = MetricRegistry()
+        registry.counter("c", a="1").inc()
+        registry.counter("c", a="2").inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE c counter") == 1
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricRegistry().to_prometheus() == ""

@@ -1,0 +1,94 @@
+"""End-to-end tests: CLI --telemetry-out, the report subcommand, and the
+report module itself."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_records, render_report, summarize
+
+
+@pytest.fixture(scope="module")
+def telemetry_file(tmp_path_factory):
+    """One tiny instrumented CLI training run shared by the module's tests."""
+    path = tmp_path_factory.mktemp("telemetry") / "run.jsonl"
+    code = main(
+        [
+            "train", "--algorithm", "fedml", "--dataset", "synthetic",
+            "--nodes", "6", "--iterations", "6", "--t0", "3",
+            "--adapt-steps", "1", "--json",
+            "--telemetry-out", str(path),
+        ]
+    )
+    assert code == 0
+    return str(path)
+
+
+class TestTelemetryOut:
+    def test_file_is_valid_jsonl_with_metadata_header(self, telemetry_file):
+        with open(telemetry_file) as handle:
+            records = [json.loads(line) for line in handle]
+        assert records[0]["type"] == "meta"
+        assert records[0]["seed"] == 0
+        assert records[0]["config"]["algorithm"] == "fedml"
+        assert records[0]["config"]["iterations"] == 6
+
+    def test_file_contains_round_spans_and_byte_counters(self, telemetry_file):
+        records = load_records(telemetry_file)
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"round", "local_steps", "aggregate"} <= span_names
+        counters = {
+            r["name"]: r["value"] for r in records if r["type"] == "counter"
+        }
+        assert counters["fl_bytes_up_total"] > 0
+        assert counters["fl_bytes_down_total"] > 0
+        assert counters["fl_rounds_total"] == 2
+
+    def test_report_subcommand_renders_summary(self, telemetry_file, capsys):
+        assert main(["report", telemetry_file]) == 0
+        out = capsys.readouterr().out
+        assert "run metadata" in out
+        assert "spans" in out
+        assert "local_steps" in out
+        assert "fl_bytes_up_total" in out
+
+    def test_report_subcommand_json(self, telemetry_file, capsys):
+        assert main(["report", telemetry_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == len(load_records(telemetry_file))
+        assert payload["meta"]["type"] == "meta"
+        assert "round" in payload["spans"]
+
+    def test_report_on_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_on_invalid_jsonl_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "meta"}\nnot json\n')
+        assert main(["report", str(bad)]) == 1
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestReportModule:
+    def test_summarize_aggregates_spans_by_name(self):
+        records = [
+            {"type": "span", "name": "round", "duration": 1.0},
+            {"type": "span", "name": "round", "duration": 3.0},
+            {"type": "span", "name": "fit", "duration": 4.5},
+        ]
+        summary = summarize(records)
+        assert summary.spans["round"] == {"count": 2, "total": 4.0, "max": 3.0}
+        assert summary.spans["fit"]["count"] == 1
+
+    def test_render_handles_empty_file(self):
+        assert "no records" in render_report(summarize([]))
+
+    def test_render_orders_spans_by_total_time(self):
+        records = [
+            {"type": "span", "name": "fast", "duration": 0.1},
+            {"type": "span", "name": "slow", "duration": 9.0},
+        ]
+        out = render_report(summarize(records))
+        assert out.index("slow") < out.index("fast")

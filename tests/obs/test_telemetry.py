@@ -1,0 +1,176 @@
+"""Tests for the telemetry facade, sinks, and trainer integration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.nn import LogisticRegression
+from repro.obs import (
+    NULL_TELEMETRY,
+    JsonlFileSink,
+    MemorySink,
+    MetricRegistry,
+    Telemetry,
+    parse_prometheus,
+    resolve,
+    run_metadata,
+)
+
+
+class TestFacade:
+    def test_resolve_maps_none_to_null(self):
+        assert resolve(None) is NULL_TELEMETRY
+        telemetry = Telemetry(sink=MemorySink())
+        assert resolve(telemetry) is telemetry
+
+    def test_spans_stream_to_sink_on_close(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        names = [r["name"] for r in sink.of_type("span")]
+        assert names == ["inner", "outer"]
+
+    def test_flush_exports_metric_state(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        telemetry.counter("c").inc(2)
+        telemetry.gauge("g").set(1)
+        telemetry.flush()
+        assert {r["name"] for r in sink.records} == {"c", "g"}
+
+    def test_close_flushes_and_closes_once(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        telemetry.counter("c").inc()
+        telemetry.close()
+        telemetry.close()
+        assert sink.closed
+        assert len(sink.of_type("counter")) == 1
+
+    def test_metadata_header_fields(self):
+        record = run_metadata(config={"alpha": 0.05}, seed=7)
+        assert record["type"] == "meta"
+        assert record["seed"] == 7
+        assert record["config"] == {"alpha": 0.05}
+        assert record["timestamp"] > 0
+        assert "timestamp_iso" in record
+        assert "git_sha" in record  # may be None outside a checkout
+
+    def test_null_telemetry_is_inert(self):
+        NULL_TELEMETRY.counter("c", any="label").inc(5)
+        NULL_TELEMETRY.gauge("g").set(1)
+        NULL_TELEMETRY.histogram("h").observe(1)
+        NULL_TELEMETRY.series("s").observe(0, 1)
+        with NULL_TELEMETRY.span("s"):
+            pass
+        NULL_TELEMETRY.emit_metadata()
+        NULL_TELEMETRY.flush()
+        NULL_TELEMETRY.close()
+        assert not NULL_TELEMETRY.enabled
+
+
+class TestJsonlFileSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = JsonlFileSink(str(path))
+        sink.emit({"type": "meta", "seed": 0})
+        sink.emit({"type": "counter", "name": "c", "value": 1.0})
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["meta", "counter"]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlFileSink(str(tmp_path / "out.jsonl"))
+        sink.close()
+        with pytest.raises(RuntimeError):
+            sink.emit({"type": "meta"})
+
+
+def small_run(telemetry=None, iterations=6, t0=3):
+    federated = generate_synthetic(SyntheticConfig(num_nodes=4, seed=0))
+    model = LogisticRegression(60, 10)
+    trainer = FedML(
+        model,
+        FedMLConfig(alpha=0.05, beta=0.05, t0=t0, total_iterations=iterations, k=3),
+        telemetry=telemetry,
+    )
+    return trainer.fit(federated, list(range(4)))
+
+
+class TestTrainerSmoke:
+    def test_fedml_emits_round_counters_and_spans(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        small_run(telemetry=telemetry, iterations=6, t0=3)
+
+        # 6 iterations / t0=3 -> 2 aggregations
+        assert telemetry.registry.get("fl_rounds_total", algorithm="fedml").value == 2
+        assert (
+            telemetry.registry.get("fl_local_steps_total", algorithm="fedml").value
+            == 6 * 4
+        )
+        assert telemetry.registry.get("fl_bytes_up_total").value > 0
+        assert telemetry.registry.get("fl_bytes_down_total").value > 0
+        assert telemetry.registry.get("fl_participants").value == 4
+
+        span_names = {r["name"] for r in sink.of_type("span")}
+        assert {"fit", "round", "local_steps", "aggregate"} <= span_names
+        round_spans = [r for r in sink.of_type("span") if r["name"] == "round"]
+        assert len(round_spans) == 2
+        assert all(r["path"] == "fit/round" for r in round_spans)
+
+        # loss history rides along in the telemetry registry
+        assert telemetry.registry.get("global_meta_loss", run="fedml") is not None
+
+        # and the whole state round-trips through Prometheus exposition
+        samples = parse_prometheus(telemetry.registry.to_prometheus())
+        assert samples['fl_rounds_total{algorithm="fedml"}'] == 2
+
+    def test_history_unchanged_with_and_without_telemetry(self):
+        plain = small_run(telemetry=None)
+        traced = small_run(telemetry=Telemetry(sink=MemorySink()))
+        assert plain.global_meta_losses == pytest.approx(traced.global_meta_losses)
+
+    def test_default_off_means_no_new_required_arguments(self):
+        # seed-compatible call: no telemetry anywhere
+        result = small_run()
+        assert result.params is not None
+
+    def test_trainer_does_not_clobber_platform_telemetry(self):
+        from repro.federated import Platform
+
+        platform_tel = Telemetry(sink=MemorySink())
+        trainer_tel = Telemetry(sink=MemorySink())
+        platform = Platform(telemetry=platform_tel)
+        model = LogisticRegression(60, 10)
+        trainer = FedML(
+            model,
+            FedMLConfig(total_iterations=3, t0=3, k=3),
+            platform=platform,
+            telemetry=trainer_tel,
+        )
+        assert trainer.platform.telemetry is platform_tel
+
+
+class TestRunLoggerAdapter:
+    def test_logger_writes_into_shared_registry(self):
+        from repro.utils.logging import RunLogger
+
+        registry = MetricRegistry()
+        logger = RunLogger(name="fedml", registry=registry)
+        logger.log(0, loss=1.0)
+        logger.log(5, loss=0.5)
+        series = registry.get("loss", run="fedml")
+        assert series.values == [1.0, 0.5]
+        assert logger.series("loss") == [1.0, 0.5]
+        assert logger.steps() == [0, 5]
+        assert logger.last("loss") == 0.5
+        assert logger.records == [
+            {"step": 0.0, "loss": 1.0},
+            {"step": 5.0, "loss": 0.5},
+        ]

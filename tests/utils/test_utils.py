@@ -127,3 +127,42 @@ class TestRunLogger:
             log.log(i, loss=float(i))
         table = log.table(["loss"], max_rows=10)
         assert len(table.splitlines()) <= 25
+
+    def test_table_always_keeps_final_row_exactly_once(self):
+        # 22 rows, max_rows=10 -> stride 2 samples indices 0..20; the final
+        # row (index 21) must be appended even when it is value-equal to a
+        # sampled row (the old dict-equality check dropped it here).
+        log = RunLogger()
+        for i in range(21):
+            log.log(i, loss=float(i))
+        log.log(0, loss=0.0)  # final row repeats row 0 by value
+        table = log.table(["loss"], max_rows=10)
+        rows = table.splitlines()[1:]
+        assert rows.count(rows[-1]) == 2  # duplicate *values*, both kept
+        assert len(rows) == 12  # 11 sampled + the final row
+
+    def test_table_no_duplicate_when_stride_hits_final_row(self):
+        log = RunLogger()
+        for i in range(21):  # stride 2 samples 0,2,...,20 == final index
+            log.log(i, loss=float(i))
+        table = log.table(["loss"], max_rows=10)
+        rows = table.splitlines()[1:]
+        assert len(rows) == len(set(rows)) == 11
+
+    def test_registry_backed_logger_shares_series(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        log = RunLogger(name="fedml", registry=registry)
+        log.log(0, loss=1.0)
+        assert registry.get("loss", run="fedml").values == [1.0]
+        assert log.registry is registry
+
+    def test_records_legacy_view(self):
+        log = RunLogger()
+        log.log(0, loss=1.0)
+        log.log(1, loss=0.5, acc=0.9)
+        assert log.records == [
+            {"step": 0.0, "loss": 1.0},
+            {"step": 1.0, "loss": 0.5, "acc": 0.9},
+        ]
