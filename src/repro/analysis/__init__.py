@@ -1,0 +1,58 @@
+"""Repo-specific static analysis and autodiff-graph sanitation.
+
+Two cooperating layers keep the reproduction's correctness invariants
+machine-checked:
+
+``reprolint`` (static)
+    An AST linter with repo-specific rules — RNG discipline, autodiff
+    hygiene, telemetry purity — plus generic hygiene rules.  See
+    :mod:`repro.analysis.engine` and the rule modules.
+
+graph sanitizer (dynamic)
+    Shape/dtype replay over recorded graphs, a double-backward audit that
+    covers every registered op, and a retained-graph leak detector.  See
+    :mod:`repro.analysis.sanitizer`.
+
+Both surface through the CLI (``repro lint``, ``repro check-graph``) and the
+tier-1 pytest gate; the rule catalog lives in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .engine import LintReport, iter_python_files, lint_paths, lint_source
+from .findings import Finding, Severity, Suppressions, parse_suppressions
+from .rules import REGISTRY, FileContext, LintRule, default_rules, register
+from .sanitizer import (
+    CONSTANT_OPS,
+    OP_SPECS,
+    GraphReport,
+    OpSpec,
+    audit_double_backward,
+    audited_op_names,
+    detect_retained_graphs,
+    replay_graph,
+    run_graph_checks,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Suppressions",
+    "parse_suppressions",
+    "FileContext",
+    "LintRule",
+    "REGISTRY",
+    "register",
+    "default_rules",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+    "OpSpec",
+    "OP_SPECS",
+    "CONSTANT_OPS",
+    "audited_op_names",
+    "replay_graph",
+    "audit_double_backward",
+    "detect_retained_graphs",
+    "GraphReport",
+    "run_graph_checks",
+]

@@ -1,0 +1,183 @@
+"""The lint engine: file discovery, rule execution, and report rendering.
+
+Usage::
+
+    from repro.analysis import lint_paths
+    report = lint_paths(["src", "benchmarks"])
+    print(report.render_text())
+    sys.exit(1 if report.findings else 0)
+
+Files are parsed once; every registered rule runs over the shared AST.
+``reprolint`` suppression directives (see :mod:`repro.analysis.findings`)
+are honoured after rule execution, so a suppressed finding costs nothing to
+silence and suppressions never hide parse errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .findings import Finding, Severity, parse_suppressions, sort_findings
+from .rules import FileContext, LintRule, default_rules
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "iter_python_files"]
+
+_EXCLUDED_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: int = 0
+    suppressed: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.all_findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(
+            1 for f in self.all_findings if f.severity is Severity.WARNING
+        )
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return self.parse_errors + self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.all_findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in sort_findings(self.all_findings)]
+        status = "clean" if self.ok else "FAILED"
+        lines.append(
+            f"reprolint: {status} — {self.files_scanned} files, "
+            f"{self.rules_run} rules, {self.errors} errors, "
+            f"{self.warnings} warnings, {self.suppressed} suppressed"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": self.rules_run,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "suppressed": self.suppressed,
+            "by_rule": self.by_rule(),
+            "findings": [f.to_dict() for f in sort_findings(self.all_findings)],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    collected: List[Path] = []
+    seen: set = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            if any(part in _EXCLUDED_DIRS for part in candidate.parts):
+                continue
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                collected.append(candidate)
+    return collected
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> LintReport:
+    """Lint one in-memory source blob (the unit the tests exercise)."""
+    active = list(rules) if rules is not None else default_rules()
+    report = LintReport(rules_run=len(active))
+    _lint_one(source, Path(path), path, active, report)
+    report.files_scanned = 1
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the given (or all) rules."""
+    active = list(rules) if rules is not None else default_rules()
+    report = LintReport(rules_run=len(active))
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.parse_errors.append(
+                Finding(
+                    rule_id="PARSE",
+                    severity=Severity.ERROR,
+                    path=str(file_path),
+                    line=1,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        _lint_one(source, file_path, str(file_path), active, report)
+        report.files_scanned += 1
+    return report
+
+
+def _lint_one(
+    source: str,
+    path: Path,
+    display_path: str,
+    rules: Sequence[LintRule],
+    report: LintReport,
+) -> None:
+    try:
+        tree = ast.parse(source, filename=display_path)
+    except SyntaxError as exc:
+        report.parse_errors.append(
+            Finding(
+                rule_id="PARSE",
+                severity=Severity.ERROR,
+                path=display_path,
+                line=exc.lineno or 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return
+    lines = source.splitlines()
+    suppressions = parse_suppressions(lines)
+    ctx = FileContext(
+        path=path, display_path=display_path, tree=tree, lines=lines
+    )
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)

@@ -1,0 +1,226 @@
+"""Lint-rule infrastructure and the generic (non-domain) rules.
+
+A rule is a class with a stable ``id``, a severity, an autofix ``hint`` and a
+``check`` method that yields :class:`~repro.analysis.findings.Finding` objects
+for one parsed file.  Rules register themselves into :data:`REGISTRY` via the
+:func:`register` decorator; :func:`default_rules` instantiates every
+registered rule (importing the domain rule modules as a side effect).
+
+The rule catalog, including examples and the suppression syntax, is
+documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Type
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "FileContext",
+    "LintRule",
+    "REGISTRY",
+    "register",
+    "default_rules",
+    "dotted_parts",
+    "MutableDefaultArgRule",
+    "SwallowedExceptionRule",
+    "MissingAllRule",
+]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one source file."""
+
+    path: Path
+    display_path: str
+    tree: ast.Module
+    lines: Sequence[str]
+
+    @property
+    def in_src(self) -> bool:
+        return "src" in self.path.parts
+
+    @property
+    def in_autodiff(self) -> bool:
+        return "autodiff" in self.path.parts
+
+
+class LintRule:
+    """Base class: subclasses define id/severity/hint and ``check``."""
+
+    id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+        )
+
+
+REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} must define a non-empty id")
+    if cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id '{cls.id}'")
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+def default_rules() -> List[LintRule]:
+    """One instance of every registered rule (registration is import-driven)."""
+    from . import rules_autodiff, rules_rng, rules_telemetry  # noqa: F401
+
+    return [cls() for cls in REGISTRY.values()]
+
+
+def dotted_parts(node: ast.AST) -> List[str]:
+    """Flatten an attribute chain (``np.random.rand`` -> [np, random, rand]).
+
+    Returns an empty list when the chain is rooted at something other than a
+    plain name (a call result, a subscript, ...).
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return list(reversed(parts))
+    return []
+
+
+# ----------------------------------------------------------------------
+# Generic rules
+# ----------------------------------------------------------------------
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+@register
+class MutableDefaultArgRule(LintRule):
+    """GEN001: mutable default argument values are shared across calls."""
+
+    id = "GEN001"
+    title = "mutable-default-arg"
+    severity = Severity.ERROR
+    hint = "default to None and create the container inside the function"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument value is evaluated once "
+                        "and shared across calls",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+
+@register
+class SwallowedExceptionRule(LintRule):
+    """GEN002: an except block whose body is only ``pass`` hides failures."""
+
+    id = "GEN002"
+    title = "swallowed-exception"
+    severity = Severity.WARNING
+    hint = "log the exception, narrow the type, or add a comment-free re-raise"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(self._is_noop(stmt) for stmt in node.body):
+                label = (
+                    ast.unparse(node.type) if node.type is not None else "bare"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"exception handler ({label}) silently swallows the error",
+                )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+
+
+@register
+class MissingAllRule(LintRule):
+    """GEN003: public library modules must declare ``__all__``."""
+
+    id = "GEN003"
+    title = "missing-all"
+    severity = Severity.WARNING
+    hint = "add an __all__ list naming the module's public surface"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_src:
+            return
+        has_all = False
+        has_public = False
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        has_all = True
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not stmt.name.startswith("_"):
+                    has_public = True
+        if has_public and not has_all:
+            yield Finding(
+                rule_id=self.id,
+                severity=self.severity,
+                path=ctx.display_path,
+                line=1,
+                message="module defines public names but no __all__",
+                hint=self.hint,
+            )

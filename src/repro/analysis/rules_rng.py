@@ -1,0 +1,93 @@
+"""RNG discipline rules.
+
+Reproducibility of the paper's figures rests on every stochastic component
+drawing from an explicitly seeded ``numpy.random.Generator`` (see
+``repro.utils.rng``).  Global-state RNG calls make runs order-dependent and
+impossible to re-seed per component.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from .findings import Finding, Severity
+from .rules import FileContext, LintRule, dotted_parts, register
+
+__all__ = ["GlobalNumpyRandomRule", "StdlibRandomRule"]
+
+#: Attributes of ``np.random`` that construct explicit, seedable state.
+_ALLOWED_NP_RANDOM: FrozenSet[str] = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register
+class GlobalNumpyRandomRule(LintRule):
+    """RNG001: ``np.random.<fn>`` global-state calls break reproducibility."""
+
+    id = "RNG001"
+    title = "numpy-global-rng"
+    severity = Severity.ERROR
+    hint = (
+        "draw from a seeded generator: repro.utils.rng.spawn(seed, name) "
+        "or np.random.default_rng(seed)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            parts = dotted_parts(node)
+            if (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in _ALLOWED_NP_RANDOM
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"global-state RNG access '{'.'.join(parts)}' "
+                    "(hidden, unseedable state)",
+                )
+
+
+@register
+class StdlibRandomRule(LintRule):
+    """RNG002: the stdlib ``random`` module is process-global and unseeded."""
+
+    id = "RNG002"
+    title = "stdlib-random"
+    severity = Severity.ERROR
+    hint = "use a numpy Generator from repro.utils.rng.spawn instead"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of stdlib 'random' (global, "
+                            "process-wide state)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from stdlib 'random' (global, "
+                        "process-wide state)",
+                    )

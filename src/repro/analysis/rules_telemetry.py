@@ -1,0 +1,113 @@
+"""Telemetry purity rule.
+
+PR 1's observability layer promises near-zero cost when disabled.  That only
+holds if hot loops talk to telemetry through the null-object pattern::
+
+    tel = resolve(self.telemetry)      # outside the loop
+    for ...:
+        tel.counter("fl_rounds_total").inc()
+
+Calling ``self.telemetry.<anything>(...)`` directly inside a loop either
+crashes when telemetry is ``None`` or forces a truthiness/None check into the
+per-iteration numeric path.  This rule flags raw telemetry calls inside
+``for``/``while`` bodies unless they sit under an ``if`` guard that mentions
+telemetry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from .findings import Finding, Severity
+from .rules import FileContext, LintRule, dotted_parts, register
+
+__all__ = ["TelemetryInLoopRule"]
+
+
+def _inner_loops(loop: ast.AST) -> List[ast.AST]:
+    """Loops nested inside ``loop`` within the same function scope."""
+    found: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                found.append(child)
+            visit(child)
+
+    visit(loop)
+    return found
+
+
+def _mentions_telemetry(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "telemetry":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "telemetry":
+            return True
+    return False
+
+
+@register
+class TelemetryInLoopRule(LintRule):
+    """TEL001: unresolved telemetry calls inside loops perturb hot paths."""
+
+    id = "TEL001"
+    title = "telemetry-in-loop"
+    severity = Severity.ERROR
+    hint = (
+        "hoist `tel = resolve(telemetry)` above the loop and call through "
+        "the resolved handle"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        loops = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+        ]
+        # Scan only outermost loops: ``_scan`` recurses into nested loops
+        # itself (preserving guard context), so starting at each one would
+        # report the same call twice.
+        nested = {id(inner) for loop in loops for inner in _inner_loops(loop)}
+        for loop in loops:
+            if id(loop) in nested:
+                continue
+            for stmt in loop.body + loop.orelse:
+                yield from self._scan(ctx, stmt, guarded=False)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, guarded: bool
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.If):
+            test_guards = _mentions_telemetry(node.test)
+            for child in node.body:
+                yield from self._scan(ctx, child, guarded or test_guards)
+            for child in node.orelse:
+                yield from self._scan(ctx, child, guarded)
+            return
+        if isinstance(node, ast.Call):
+            parts = dotted_parts(node.func)
+            if "telemetry" in parts[:-1] and not guarded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raw telemetry call '{'.'.join(parts)}' inside a loop "
+                    "body (no null-guard)",
+                )
+            # Fall through: scan call arguments too.
+        for child in ast.iter_child_nodes(node):
+            # Nested function/class bodies start a fresh scope; their loops
+            # are visited by ``check`` directly.
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield from self._scan(ctx, child, guarded)
+    # NOTE: an `if ... telemetry ...:` guard inside the loop is accepted but
+    # still costs a branch per iteration; prefer resolve() outside the loop.

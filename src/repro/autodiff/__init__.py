@@ -53,13 +53,14 @@ from .ops import (
     where,
     zeros_like,
 )
-from .tensor import GradientError, Tensor, grad, is_tensor, tensor
+from .tensor import GradientError, Tensor, grad, is_tensor, tensor, toposort
 
 __all__ = [
     "Tensor",
     "tensor",
     "grad",
     "is_tensor",
+    "toposort",
     "GradientError",
     "ops",
     "check_gradients",

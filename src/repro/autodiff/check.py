@@ -12,7 +12,12 @@ import numpy as np
 
 from .tensor import Tensor, grad
 
-__all__ = ["numerical_gradient", "check_gradients", "check_second_order"]
+__all__ = [
+    "numerical_gradient",
+    "check_gradients",
+    "check_second_order",
+    "check_double_backward",
+]
 
 
 def numerical_gradient(
@@ -79,6 +84,7 @@ def check_second_order(
     def grad_fn(values: np.ndarray) -> np.ndarray:
         t = Tensor(values.reshape(x.shape), requires_grad=True)
         (g,) = grad(fn(t), [t])
+        assert g is not None
         return g.data.reshape(-1)
 
     # Numerical Hessian via central differences of the analytic gradient.
@@ -96,6 +102,7 @@ def check_second_order(
     # Analytic Hessian via double backward.
     t = Tensor(x, requires_grad=True)
     (g,) = grad(fn(t), [t], create_graph=True)
+    assert g is not None
     analytic = np.zeros((n, n))
     for i in range(n):
         seed = np.zeros(g.shape)
@@ -104,3 +111,35 @@ def check_second_order(
         analytic[i, :] = 0.0 if row is None else row.data.reshape(-1)
 
     np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def check_double_backward(
+    fn: Callable[..., Tensor], args: Sequence[np.ndarray]
+) -> None:
+    """Assert that ``fn``'s VJPs keep the cotangent graph differentiable.
+
+    Seeds the backward pass of ``fn(*args)`` with a cotangent that itself
+    requires grad and asserts every produced gradient still depends on that
+    seed.  A VJP that detaches (raw ``np.*`` call, ``.data`` access, constant
+    cotangent) severs the dependence and fails here — the same invariant the
+    ``repro check-graph`` double-backward audit enforces engine-wide.
+    """
+    tensors = [
+        Tensor(np.asarray(a, dtype=np.float64), requires_grad=True)
+        for a in args
+    ]
+    out = fn(*tensors)
+    seed = Tensor(np.ones_like(out.data), requires_grad=True)
+    grads = grad(
+        out, tensors, grad_output=seed, create_graph=True, allow_unused=True
+    )
+    produced = [g for g in grads if g is not None]
+    if not produced:
+        raise AssertionError("fn produced no gradient for any input")
+    for index, g in enumerate(produced):
+        (d_seed,) = grad(g.sum(), [seed], allow_unused=True)
+        if d_seed is None:
+            raise AssertionError(
+                f"gradient {index} does not depend on the output cotangent: "
+                "a VJP in fn's graph is detached (breaks create_graph=True)"
+            )

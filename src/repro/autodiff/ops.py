@@ -9,13 +9,14 @@ casing.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .tensor import Tensor, _Context
 
 Axis = Union[None, int, Tuple[int, ...]]
+Vjp = Callable[[Tensor], Tensor]
 
 __all__ = [
     "as_tensor",
@@ -54,7 +55,7 @@ __all__ = [
 ]
 
 
-def as_tensor(value) -> Tensor:
+def as_tensor(value: object) -> Tensor:
     """Coerce scalars / arrays to constant tensors; pass tensors through."""
     if isinstance(value, Tensor):
         return value
@@ -64,10 +65,15 @@ def as_tensor(value) -> Tensor:
 # Profiling hook installed by repro.autodiff.profile.profile_ops(); called as
 # hook(op_name, num_elements, requires_grad) for every op output.  Kept as a
 # single module-level slot so the disabled path costs one None check.
-_PROFILE_HOOK = None
+_PROFILE_HOOK: Optional[Callable[[str, int, bool], None]] = None
 
 
-def _make(data: np.ndarray, parents: Sequence[Tensor], vjps, op_name: str) -> Tensor:
+def _make(
+    data: np.ndarray,
+    parents: Sequence[Tensor],
+    vjps: Sequence[Optional[Vjp]],
+    op_name: str,
+) -> Tensor:
     """Build an op output, pruning the graph when no parent requires grad."""
     requires = any(p.requires_grad for p in parents)
     if _PROFILE_HOOK is not None:
@@ -274,7 +280,7 @@ def mean(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
     return mul(sum_(a, axis=axis, keepdims=keepdims), as_tensor(1.0 / count))
 
 
-def reshape(a: Tensor, shape: tuple) -> Tensor:
+def reshape(a: Tensor, shape: Tuple[int, ...]) -> Tensor:
     original = a.shape
     return _make(
         a.data.reshape(shape), (a,), (lambda g: reshape(g, original),), "reshape"
@@ -294,7 +300,7 @@ def transpose(a: Tensor, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
     )
 
 
-def broadcast_to(a: Tensor, shape: tuple) -> Tensor:
+def broadcast_to(a: Tensor, shape: Tuple[int, ...]) -> Tensor:
     return _make(
         np.broadcast_to(a.data, shape).copy(),
         (a,),
@@ -303,7 +309,7 @@ def broadcast_to(a: Tensor, shape: tuple) -> Tensor:
     )
 
 
-def getitem(a: Tensor, index) -> Tensor:
+def getitem(a: Tensor, index: object) -> Tensor:
     """Differentiable indexing (slices, ints, or integer arrays).
 
     The backward pass scatter-adds the cotangent into the indexed positions,
@@ -314,7 +320,7 @@ def getitem(a: Tensor, index) -> Tensor:
     )
 
 
-def _scatter(g: Tensor, index, shape: tuple) -> Tensor:
+def _scatter(g: Tensor, index: object, shape: Tuple[int, ...]) -> Tensor:
     out_data = np.zeros(shape, dtype=np.float64)
     np.add.at(out_data, index, g.data)
     return _make(out_data, (g,), (lambda cot: getitem(cot, index),), "scatter")
@@ -372,7 +378,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out_data = np.stack([t.data for t in tensors], axis=axis)
     norm_axis = axis % out_data.ndim
 
-    def make_vjp(i: int):
+    def make_vjp(i: int) -> Vjp:
         slicer = tuple(
             i if ax == norm_axis else slice(None) for ax in range(out_data.ndim)
         )
@@ -391,7 +397,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     offsets = np.cumsum([0] + [t.shape[axis] for t in tensors])
 
-    def make_vjp(i: int):
+    def make_vjp(i: int) -> Vjp:
         start, stop = offsets[i], offsets[i + 1]
         slicer = tuple(
             slice(start, stop) if ax == axis % out_data.ndim else slice(None)

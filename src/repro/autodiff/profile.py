@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from . import ops
 
@@ -116,7 +116,7 @@ class TapeProfiler:
         )
         return "\n".join(lines)
 
-    def to_registry(self, registry, prefix: str = "autodiff_") -> None:
+    def to_registry(self, registry: Any, prefix: str = "autodiff_") -> None:
         """Export into a :class:`repro.obs.MetricRegistry` as counters."""
         for name, s in self.op_stats.items():
             registry.counter(f"{prefix}op_calls_total", op=name).inc(s.calls)
@@ -126,8 +126,10 @@ class TapeProfiler:
         registry.counter(f"{prefix}tape_nodes_total").inc(self.tape_length)
 
 
-def _timed(name: str, fn: Callable, profiler: TapeProfiler) -> Callable:
-    def wrapper(*args, **kwargs):
+def _timed(
+    name: str, fn: Callable[..., Any], profiler: TapeProfiler
+) -> Callable[..., Any]:
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
         start = time.perf_counter()
         try:
             return fn(*args, **kwargs)
@@ -139,12 +141,16 @@ def _timed(name: str, fn: Callable, profiler: TapeProfiler) -> Callable:
 
 
 @contextmanager
-def profile_ops(profiler: Optional[TapeProfiler] = None):
+def profile_ops(
+    profiler: Optional[TapeProfiler] = None,
+) -> Iterator[TapeProfiler]:
     """Profile every autodiff op executed inside the ``with`` block."""
     if ops._PROFILE_HOOK is not None:
         raise RuntimeError("profile_ops() is already active")
     prof = profiler if profiler is not None else TapeProfiler()
-    originals: List = [(name, getattr(ops, name)) for name in _TIMED_OPS]
+    originals: List[Tuple[str, Callable[..., Any]]] = [
+        (name, getattr(ops, name)) for name in _TIMED_OPS
+    ]
     ops._PROFILE_HOOK = prof.record_creation
     for name, fn in originals:
         # ops use trailing-underscore function names for builtins shadowing

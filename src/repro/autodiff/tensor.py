@@ -21,13 +21,15 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+#: Anything the operator sugar accepts on the other side of a Tensor.
+TensorOperand = Union["Tensor", np.ndarray, float, int, Sequence]
 
-__all__ = ["Tensor", "tensor", "grad", "is_tensor", "GradientError"]
+__all__ = ["Tensor", "tensor", "grad", "is_tensor", "toposort", "GradientError"]
 
 
 class GradientError(RuntimeError):
@@ -84,7 +86,7 @@ class Tensor:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def shape(self) -> tuple:
+    def shape(self) -> Tuple[int, ...]:
         return self.data.shape
 
     @property
@@ -117,85 +119,93 @@ class Tensor:
     # ------------------------------------------------------------------
     # Operator sugar (implementations live in repro.autodiff.ops)
     # ------------------------------------------------------------------
-    def __add__(self, other):
+    def __add__(self, other: TensorOperand) -> "Tensor":
         from . import ops
 
         return ops.add(self, ops.as_tensor(other))
 
     __radd__ = __add__
 
-    def __sub__(self, other):
+    def __sub__(self, other: TensorOperand) -> "Tensor":
         from . import ops
 
         return ops.sub(self, ops.as_tensor(other))
 
-    def __rsub__(self, other):
+    def __rsub__(self, other: TensorOperand) -> "Tensor":
         from . import ops
 
         return ops.sub(ops.as_tensor(other), self)
 
-    def __mul__(self, other):
+    def __mul__(self, other: TensorOperand) -> "Tensor":
         from . import ops
 
         return ops.mul(self, ops.as_tensor(other))
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other):
+    def __truediv__(self, other: TensorOperand) -> "Tensor":
         from . import ops
 
         return ops.div(self, ops.as_tensor(other))
 
-    def __rtruediv__(self, other):
+    def __rtruediv__(self, other: TensorOperand) -> "Tensor":
         from . import ops
 
         return ops.div(ops.as_tensor(other), self)
 
-    def __neg__(self):
+    def __neg__(self) -> "Tensor":
         from . import ops
 
         return ops.neg(self)
 
-    def __pow__(self, exponent):
+    def __pow__(self, exponent: float) -> "Tensor":
         from . import ops
 
         return ops.power(self, exponent)
 
-    def __matmul__(self, other):
+    def __matmul__(self, other: TensorOperand) -> "Tensor":
         from . import ops
 
         return ops.matmul(self, ops.as_tensor(other))
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: object) -> "Tensor":
         from . import ops
 
         return ops.getitem(self, index)
 
     # Convenience method forms -----------------------------------------
-    def sum(self, axis=None, keepdims: bool = False):
+    def sum(
+        self,
+        axis: Union[None, int, Tuple[int, ...]] = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         from . import ops
 
         return ops.sum_(self, axis=axis, keepdims=keepdims)
 
-    def mean(self, axis=None, keepdims: bool = False):
+    def mean(
+        self,
+        axis: Union[None, int, Tuple[int, ...]] = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         from . import ops
 
         return ops.mean(self, axis=axis, keepdims=keepdims)
 
-    def reshape(self, *shape):
+    def reshape(self, *shape: Union[int, Tuple[int, ...], List[int]]) -> "Tensor":
         from . import ops
 
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
-            shape = tuple(shape[0])
-        return ops.reshape(self, shape)
+            return ops.reshape(self, tuple(shape[0]))
+        return ops.reshape(self, tuple(int(s) for s in shape))  # type: ignore[arg-type]
 
-    def transpose(self, axes=None):
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
         from . import ops
 
         return ops.transpose(self, axes)
 
     @property
-    def T(self):
+    def T(self) -> "Tensor":
         return self.transpose()
 
     # ------------------------------------------------------------------
@@ -203,7 +213,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def backward(self, grad_output: Optional["Tensor"] = None) -> None:
         """Populate ``.grad`` on every reachable leaf requiring grad."""
-        leaves = [t for t in _toposort(self) if t.is_leaf() and t.requires_grad]
+        leaves = [t for t in toposort(self) if t.is_leaf() and t.requires_grad]
         grads = grad(self, leaves, grad_output=grad_output, allow_unused=True)
         for leaf, g in zip(leaves, grads):
             if g is None:
@@ -219,15 +229,19 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
     return Tensor(data, requires_grad=requires_grad)
 
 
-def is_tensor(value) -> bool:
+def is_tensor(value: object) -> bool:
     return isinstance(value, Tensor)
 
 
-def _toposort(root: Tensor) -> list:
-    """Return tensors reachable from ``root`` in topological order (inputs first)."""
-    order: list = []
-    visited: set = set()
-    stack: list = [(root, False)]
+def toposort(root: Tensor) -> List[Tensor]:
+    """Return tensors reachable from ``root`` in topological order (inputs first).
+
+    Public so graph tooling (the sanitizer in :mod:`repro.analysis`) can walk
+    recorded graphs without reaching into engine internals.
+    """
+    order: List[Tensor] = []
+    visited: Set[int] = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
     while stack:
         node, processed = stack.pop()
         if processed:
@@ -244,10 +258,10 @@ def _toposort(root: Tensor) -> list:
     return order
 
 
-def _requires_path(order: Iterable[Tensor], targets: Sequence[Tensor]) -> set:
+def _requires_path(order: Iterable[Tensor], targets: Sequence[Tensor]) -> Set[int]:
     """IDs of tensors on a differentiable path from any target to the root."""
     target_ids = {id(t) for t in targets}
-    needed: set = set()
+    needed: Set[int] = set()
     for node in order:  # inputs first
         if id(node) in target_ids:
             needed.add(id(node))
@@ -264,7 +278,7 @@ def grad(
     grad_output: Optional[Tensor] = None,
     create_graph: bool = False,
     allow_unused: bool = False,
-) -> list:
+) -> List[Optional[Tensor]]:
     """Compute ``d output / d inputs`` via reverse-mode differentiation.
 
     Parameters
@@ -302,11 +316,11 @@ def grad(
             f"output shape {output.shape}"
         )
 
-    order = _toposort(output)
+    order = toposort(output)
     on_path = _requires_path(order, inputs)
 
     input_ids = {id(t) for t in inputs}
-    cotangents: dict = {id(output): grad_output}
+    cotangents: dict[int, Tensor] = {id(output): grad_output}
     for node in reversed(order):  # root first
         cot = cotangents.get(id(node))
         if cot is None:
@@ -330,7 +344,7 @@ def grad(
         if id(node) not in input_ids:
             del cotangents[id(node)]  # free memory; final value not needed
 
-    results: list = []
+    results: List[Optional[Tensor]] = []
     for inp in inputs:
         g = cotangents.get(id(inp))
         if g is None:

@@ -20,6 +20,12 @@ Record telemetry (spans, per-round byte accounting) and summarize it::
     python -m repro.cli train --algorithm fedml --dataset synthetic \
         --telemetry-out run.jsonl
     python -m repro.cli report run.jsonl
+
+Run the repo-specific linter and the autodiff graph sanitizer (both exit
+non-zero on findings; rule catalog in ``docs/STATIC_ANALYSIS.md``)::
+
+    python -m repro.cli lint src benchmarks examples
+    python -m repro.cli check-graph --json
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -119,7 +126,7 @@ def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
         for k, v in vars(args).items()
         if k != "func" and isinstance(v, (str, int, float, bool, type(None)))
     }
-    telemetry.emit_metadata(config=config, seed=args.seed)
+    telemetry.emit_metadata(config=config, seed=getattr(args, "seed", None))
     return telemetry
 
 
@@ -292,6 +299,62 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_paths
+
+    telemetry = _build_telemetry(args)
+    start = time.perf_counter()
+    report = lint_paths(args.paths)
+    elapsed = time.perf_counter() - start
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.gauge("analysis_lint_seconds").set(elapsed)
+        registry.counter("analysis_files_scanned_total").inc(
+            report.files_scanned
+        )
+        for rule_id, count in report.by_rule().items():
+            registry.counter("analysis_findings_total", rule=rule_id).inc(
+                count
+            )
+        telemetry.close()
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+        if telemetry is not None and args.telemetry_out != "-":
+            print(f"telemetry written to {args.telemetry_out}")
+    return 0 if report.ok else 1
+
+
+def _cmd_check_graph(args: argparse.Namespace) -> int:
+    from .analysis import run_graph_checks
+
+    telemetry = _build_telemetry(args)
+    start = time.perf_counter()
+    report = run_graph_checks()
+    elapsed = time.perf_counter() - start
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.gauge("analysis_check_graph_seconds").set(elapsed)
+        registry.gauge("analysis_ops_audited").set(report.ops_audited)
+        for section, seconds in report.section_seconds.items():
+            registry.gauge(
+                "analysis_section_seconds", section=section
+            ).set(seconds)
+        for finding in report.findings:
+            registry.counter(
+                "analysis_findings_total", rule=finding.rule_id
+            ).inc()
+        telemetry.close()
+    if args.json:
+        print(json.dumps(report.to_dict()))
+    else:
+        print(report.render_text())
+        if telemetry is not None and args.telemetry_out != "-":
+            print(f"telemetry written to {args.telemetry_out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     try:
         records = load_records(args.path)
@@ -395,6 +458,32 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", help="telemetry file written by --telemetry-out")
     report.add_argument("--json", action="store_true", help="emit JSON")
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific linter (reprolint) over files/directories",
+    )
+    lint.add_argument(
+        "paths", nargs="+", help="files or directories to lint"
+    )
+    lint.add_argument("--json", action="store_true", help="emit JSON")
+    lint.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="record lint runtime/finding metrics as telemetry JSONL",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    check_graph = sub.add_parser(
+        "check-graph",
+        help="audit autodiff graphs: double-backward coverage, shape/dtype "
+        "replay, retained-graph leaks",
+    )
+    check_graph.add_argument("--json", action="store_true", help="emit JSON")
+    check_graph.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="record sanitizer runtime metrics as telemetry JSONL",
+    )
+    check_graph.set_defaults(func=_cmd_check_graph)
 
     return parser
 

@@ -1,0 +1,107 @@
+"""Engine-level behaviour: file discovery, parse errors, rendering, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.engine import iter_python_files
+from repro.cli import main
+
+
+class TestFileDiscovery:
+    def test_walks_directories_and_dedups(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "b.py").write_text("y = 2\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("z = 3\n")
+        files = iter_python_files([tmp_path, tmp_path / "pkg" / "a.py"])
+        names = [f.name for f in files]
+        assert names == ["a.py", "b.py"]
+
+    def test_non_python_paths_are_skipped(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        assert iter_python_files([tmp_path / "notes.txt"]) == []
+
+
+class TestParseErrors:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = lint_paths([bad])
+        assert not report.ok
+        assert report.parse_errors[0].rule_id == "PARSE"
+
+    def test_suppression_cannot_hide_parse_errors(self):
+        report = lint_source("# reprolint: disable-file=all\ndef f(:\n")
+        assert not report.ok
+
+
+class TestRendering:
+    def test_text_summary_counts(self):
+        report = lint_source("import random\n")
+        text = report.render_text()
+        assert "RNG002" in text
+        assert "FAILED" in text
+
+    def test_json_round_trips(self):
+        report = lint_source("import random\n")
+        payload = json.loads(report.render_json())
+        assert payload["ok"] is False
+        assert payload["by_rule"]["RNG002"] == 1
+        assert payload["findings"][0]["rule"] == "RNG002"
+
+    def test_clean_report(self):
+        report = lint_source("x = 1\n")
+        assert report.ok
+        assert "clean" in report.render_text()
+
+
+class TestCliLint:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "RNG002" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["lint", "--json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+
+    def test_telemetry_metrics_recorded(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        out_path = tmp_path / "lint.jsonl"
+        assert (
+            main(["lint", str(tmp_path), "--telemetry-out", str(out_path)])
+            == 1
+        )
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line
+        ]
+        names = {r.get("name") for r in records}
+        assert "analysis_lint_seconds" in names
+        assert "analysis_files_scanned_total" in names
+        by_rule = [
+            r
+            for r in records
+            if r.get("name") == "analysis_findings_total"
+            and r.get("labels", {}).get("rule") == "RNG002"
+        ]
+        assert by_rule and by_rule[0]["value"] == 1
+
+    def test_report_renders_lint_telemetry(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        out_path = tmp_path / "lint.jsonl"
+        main(["lint", str(tmp_path), "--telemetry-out", str(out_path)])
+        capsys.readouterr()
+        assert main(["report", str(out_path)]) == 0
+        assert "analysis_lint_seconds" in capsys.readouterr().out

@@ -1,0 +1,312 @@
+"""Positive and negative fixtures for every reprolint rule.
+
+Each rule gets at least one snippet that MUST fire and one that MUST stay
+silent, so rule regressions (either direction) are caught.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.rules import REGISTRY, default_rules
+
+
+def ids_in(source, path="<string>"):
+    report = lint_source(textwrap.dedent(source), path=path)
+    return [f.rule_id for f in report.findings]
+
+
+class TestRegistry:
+    def test_at_least_eight_rules_registered(self):
+        default_rules()  # import side effect registers domain rules
+        assert len(REGISTRY) >= 8
+
+    def test_rule_metadata_complete(self):
+        for rule in default_rules():
+            assert rule.id
+            assert rule.hint, f"rule {rule.id} has no autofix hint"
+            assert rule.severity is not None
+
+
+class TestRng001GlobalNumpyRandom:
+    def test_fires_on_global_state_calls(self):
+        src = """
+        import numpy as np
+        x = np.random.rand(3)
+        np.random.seed(0)
+        y = np.random.normal(size=4)
+        """
+        assert ids_in(src).count("RNG001") == 3
+
+    def test_silent_on_seeded_generators(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(np.random.SeedSequence([1, 2]))
+        gen = np.random.Generator(np.random.PCG64(7))
+        z = rng.normal(size=3)
+        """
+        assert "RNG001" not in ids_in(src)
+
+
+class TestRng002StdlibRandom:
+    def test_fires_on_import(self):
+        assert "RNG002" in ids_in("import random\n")
+
+    def test_fires_on_from_import(self):
+        assert "RNG002" in ids_in("from random import shuffle\n")
+
+    def test_silent_on_other_modules(self):
+        src = """
+        import numpy as np
+        from repro.utils.rng import spawn
+        """
+        assert "RNG002" not in ids_in(src)
+
+
+class TestAd101InplaceMutation:
+    def test_fires_on_subscript_and_attribute_writes(self):
+        src = """
+        def update(t, g):
+            t.data[0] = 1.0
+            t.data += g
+            t.grad = g
+        """
+        assert ids_in(src).count("AD101") == 3
+
+    def test_self_data_ownership_is_allowed(self):
+        src = """
+        class Buffer:
+            def __init__(self, data):
+                self.data = data
+        """
+        assert "AD101" not in ids_in(src)
+
+    def test_exempt_inside_autodiff(self):
+        src = "def f(t):\n    t.data[0] = 1.0\n"
+        report = lint_source(src, path="src/repro/autodiff/tensor.py")
+        assert "AD101" not in [f.rule_id for f in report.findings]
+
+    def test_functional_update_is_clean(self):
+        src = """
+        def update(t, g, Tensor):
+            return Tensor(t.data - 0.1 * g.data)
+        """
+        assert "AD101" not in ids_in(src)
+
+
+class TestAd102VjpDetach:
+    def test_fires_on_data_access_in_vjp_closure(self):
+        src = """
+        def op(a, np, Tensor, _make):
+            return _make(a.data, (a,), (lambda g: Tensor(g.data),), "op")
+        """
+        assert "AD102" in ids_in(src)
+
+    def test_fires_in_named_vjp_function(self):
+        src = """
+        def op(a):
+            def vjp(g):
+                return g.numpy()
+            return vjp
+        """
+        assert "AD102" in ids_in(src)
+
+    def test_silent_on_differentiable_vjp(self):
+        src = """
+        def op(a, mul, _make):
+            return _make(a.data, (a,), (lambda g: mul(g, a),), "op")
+        """
+        assert "AD102" not in ids_in(src)
+
+    def test_forward_data_access_is_fine(self):
+        src = """
+        def op(a, np):
+            out = np.exp(a.data)
+            return out
+        """
+        assert "AD102" not in ids_in(src)
+
+
+class TestAd103VjpRawNumpy:
+    def test_fires_on_np_call_in_vjp(self):
+        src = """
+        def op(a, np, Tensor, _make):
+            return _make(
+                a.data, (a,), (lambda g: Tensor(np.ones_like(a.data)),), "op"
+            )
+        """
+        assert "AD103" in ids_in(src)
+
+    def test_fires_inside_make_vjp_factory(self):
+        src = """
+        def op(np):
+            def make_vjp(i):
+                return lambda g: np.take(g, i)
+            return make_vjp
+        """
+        assert "AD103" in ids_in(src)
+
+    def test_silent_on_ops_primitives(self):
+        src = """
+        def op(a, reshape, _make):
+            return _make(a.data, (a,), (lambda g: reshape(g, (2,)),), "op")
+        """
+        assert "AD103" not in ids_in(src)
+
+
+class TestTel001TelemetryInLoop:
+    def test_fires_on_raw_call_in_loop(self):
+        src = """
+        def fit(self, rounds):
+            for r in range(rounds):
+                self.telemetry.counter("fl_rounds_total").inc()
+        """
+        assert "TEL001" in ids_in(src)
+
+    def test_fires_on_bare_name_in_while(self):
+        src = """
+        def fit(telemetry):
+            while True:
+                telemetry.emit({"x": 1})
+        """
+        assert "TEL001" in ids_in(src)
+
+    def test_resolved_handle_is_clean(self):
+        src = """
+        def fit(self, rounds, resolve):
+            tel = resolve(self.telemetry)
+            for r in range(rounds):
+                tel.counter("fl_rounds_total").inc()
+        """
+        assert "TEL001" not in ids_in(src)
+
+    def test_guarded_call_is_clean(self):
+        src = """
+        def fit(self, rounds):
+            for r in range(rounds):
+                if self.telemetry is not None:
+                    self.telemetry.counter("x").inc()
+        """
+        assert "TEL001" not in ids_in(src)
+
+    def test_nested_loop_reports_once(self):
+        src = """
+        def fit(self, xs, ys):
+            for x in xs:
+                for y in ys:
+                    self.telemetry.emit({"y": y})
+        """
+        assert ids_in(src).count("TEL001") == 1
+
+
+class TestGen001MutableDefault:
+    def test_fires_on_list_and_dict_literals(self):
+        src = """
+        def f(a=[], b={}):
+            return a, b
+        """
+        assert ids_in(src).count("GEN001") == 2
+
+    def test_fires_on_constructor_call(self):
+        assert "GEN001" in ids_in("def f(a=list()):\n    return a\n")
+
+    def test_none_sentinel_is_clean(self):
+        src = """
+        def f(a=None, b=(), c=0):
+            return a, b, c
+        """
+        assert "GEN001" not in ids_in(src)
+
+
+class TestGen002SwallowedException:
+    def test_fires_on_pass_body(self):
+        src = """
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert "GEN002" in ids_in(src)
+
+    def test_silent_when_handled(self):
+        src = """
+        import logging
+        try:
+            risky()
+        except ValueError as exc:
+            logging.warning("failed: %s", exc)
+        """
+        assert "GEN002" not in ids_in(src)
+
+
+class TestGen003MissingAll:
+    def test_fires_for_public_src_module(self):
+        src = "def public_api():\n    return 1\n"
+        report = lint_source(src, path="src/repro/newmod.py")
+        assert "GEN003" in [f.rule_id for f in report.findings]
+
+    def test_silent_with_all_declared(self):
+        src = "__all__ = ['public_api']\n\ndef public_api():\n    return 1\n"
+        report = lint_source(src, path="src/repro/newmod.py")
+        assert "GEN003" not in [f.rule_id for f in report.findings]
+
+    def test_silent_outside_src(self):
+        src = "def public_api():\n    return 1\n"
+        report = lint_source(src, path="examples/demo.py")
+        assert "GEN003" not in [f.rule_id for f in report.findings]
+
+    def test_silent_for_private_only_module(self):
+        src = "def _helper():\n    return 1\n"
+        report = lint_source(src, path="src/repro/helpers.py")
+        assert "GEN003" not in [f.rule_id for f in report.findings]
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # reprolint: disable=RNG001\n"
+        report = lint_source(src)
+        assert "RNG001" not in [f.rule_id for f in report.findings]
+        assert report.suppressed == 1
+
+    def test_line_suppression_is_line_scoped(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # reprolint: disable=RNG001\n"
+            "y = np.random.rand(3)\n"
+        )
+        report = lint_source(src)
+        assert [f.rule_id for f in report.findings] == ["RNG001"]
+
+    def test_file_suppression(self):
+        src = (
+            "# reprolint: disable-file=RNG001\n"
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+            "y = np.random.rand(3)\n"
+        )
+        report = lint_source(src)
+        assert "RNG001" not in [f.rule_id for f in report.findings]
+        assert report.suppressed == 2
+
+    def test_disable_all(self):
+        src = "import random  # reprolint: disable=all\n"
+        report = lint_source(src)
+        assert not report.findings
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = "import random  # reprolint: disable=RNG001\n"
+        report = lint_source(src)
+        assert "RNG002" in [f.rule_id for f in report.findings]
+
+
+class TestEachRuleHasFixtureCoverage:
+    """Guard: every registered rule id appears in this file's fixtures."""
+
+    def test_all_rules_exercised(self):
+        default_rules()
+        import pathlib
+
+        here = pathlib.Path(__file__).read_text(encoding="utf-8")
+        for rule_id in REGISTRY:
+            assert rule_id in here, f"no fixture exercises rule {rule_id}"

@@ -1,0 +1,62 @@
+"""Tier-1 gate: the repository itself must pass its own analysis tooling.
+
+These tests make ``repro lint`` and ``repro check-graph`` regressions a test
+failure, so CI and local runs agree on what "clean" means.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, run_graph_checks
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT_TARGETS = [
+    str(REPO_ROOT / name)
+    for name in ("src", "benchmarks", "examples")
+    if (REPO_ROOT / name).is_dir()
+]
+
+
+def test_repo_tree_is_lint_clean():
+    report = lint_paths(LINT_TARGETS)
+    assert report.ok, "\n" + report.render_text()
+
+
+def test_graph_checks_are_clean():
+    report = run_graph_checks()
+    assert report.ok, "\n" + report.render_text()
+
+
+def test_cli_lint_exit_code(capsys):
+    assert main(["lint", *LINT_TARGETS]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_check_graph_exit_code(capsys):
+    assert main(["check-graph"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+@pytest.mark.skipif(
+    shutil.which("mypy") is None, reason="mypy not installed in this env"
+)
+def test_mypy_strict_packages():
+    """Typed packages stay mypy-clean under the pyproject config (CI runs this)."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "src/repro/analysis",
+            "src/repro/autodiff",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,184 @@
+"""Graph sanitizer tests: replay, double-backward audit, leak detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (
+    CONSTANT_OPS,
+    OP_SPECS,
+    OpSpec,
+    audit_double_backward,
+    audited_op_names,
+    detect_retained_graphs,
+    replay_graph,
+    run_graph_checks,
+)
+from repro.autodiff import ops
+from repro.autodiff.ops import _make
+from repro.autodiff.tensor import Tensor, grad
+from repro.cli import main
+
+
+def bad_identity(a: Tensor) -> Tensor:
+    """An op whose VJP detaches via a raw numpy call (the target bug class)."""
+    return _make(
+        a.data.copy(),
+        (a,),
+        (lambda g: Tensor(np.ones_like(g.data)),),
+        "bad_identity",
+    )
+
+
+def detached_scale(a: Tensor) -> Tensor:
+    """An op whose VJP returns a constant built from ``.data`` access."""
+    return _make(
+        a.data * 2.0,
+        (a,),
+        (lambda g: Tensor(2.0 * np.ones(g.shape)),),
+        "detached_scale",
+    )
+
+
+class TestAuditCoverage:
+    def test_spec_table_covers_every_registered_op(self):
+        missing = [
+            name for name in audited_op_names() if name not in OP_SPECS
+        ]
+        assert missing == [], f"ops without audit specs: {missing}"
+
+    def test_constant_ops_are_excluded(self):
+        names = audited_op_names()
+        for constant in CONSTANT_OPS:
+            assert constant not in names
+
+    def test_audit_passes_on_the_real_engine(self):
+        findings = audit_double_backward()
+        assert findings == [], [f.render() for f in findings]
+
+    def test_unregistered_op_fails_the_audit(self):
+        findings = audit_double_backward(op_names=["add", "brand_new_op"])
+        assert any(f.rule_id == "AD210" for f in findings)
+
+    def test_every_all_entry_is_considered(self):
+        # A new op appended to ops.__all__ with no spec must surface.
+        names = list(ops.__all__) + ["future_op"]
+        findings = audit_double_backward(op_names=names)
+        assert any(
+            f.rule_id == "AD210" and "future_op" in f.message
+            for f in findings
+        )
+
+
+class TestAuditCatchesGraphBreakers:
+    def test_raw_numpy_vjp_is_flagged(self):
+        specs = dict(OP_SPECS)
+        specs["bad_identity"] = OpSpec(
+            "bad_identity", bad_identity, (np.array([[0.3, -0.7]]),)
+        )
+        findings = audit_double_backward(
+            op_names=["bad_identity"], specs=specs
+        )
+        assert [f.rule_id for f in findings] == ["AD211"]
+
+    def test_data_detach_vjp_is_flagged(self):
+        specs = {
+            "detached_scale": OpSpec(
+                "detached_scale", detached_scale, (np.array([1.0, 2.0]),)
+            )
+        }
+        findings = audit_double_backward(
+            op_names=["detached_scale"], specs=specs
+        )
+        assert [f.rule_id for f in findings] == ["AD211"]
+
+    def test_crashing_op_reports_instead_of_raising(self):
+        def exploding(a: Tensor) -> Tensor:
+            raise RuntimeError("boom")
+
+        specs = {"exploding": OpSpec("exploding", exploding, (np.ones(2),))}
+        findings = audit_double_backward(op_names=["exploding"], specs=specs)
+        assert [f.rule_id for f in findings] == ["AD212"]
+
+
+class TestReplayGraph:
+    def test_clean_float64_graph(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = ops.mul(ops.add(a, a), a)
+        assert replay_graph(out) == []
+
+    def test_flags_dtype_downcast(self):
+        a = Tensor(np.ones(3))
+        a.data = np.ones(3, dtype=np.float32)  # simulate a buggy op output
+        findings = replay_graph(a)
+        assert [f.rule_id for f in findings] == ["AD201"]
+
+    def test_flags_outer_product_broadcast(self):
+        col = Tensor(np.ones((4, 1)), requires_grad=True)
+        row = Tensor(np.ones(4))
+        out = ops.add(col, row)  # (4, 1) + (4,) -> (4, 4): the classic trap
+        findings = replay_graph(out)
+        assert "AD202" in [f.rule_id for f in findings]
+
+    def test_matching_broadcast_is_silent(self):
+        mat = Tensor(np.ones((2, 3)), requires_grad=True)
+        row = Tensor(np.ones(3))
+        assert replay_graph(ops.add(mat, row)) == []
+
+    def test_flags_non_finite_values(self):
+        a = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+        out = ops.log(a)  # log(-1) -> nan
+        findings = replay_graph(out)
+        assert "AD203" in [f.rule_id for f in findings]
+
+
+class TestRetainedGraphDetection:
+    def test_backward_grads_are_leak_free(self):
+        w = Tensor(np.ones((2, 2)), requires_grad=True)
+        loss = ops.sum_(ops.mul(w, w))
+        loss.backward()
+        assert detect_retained_graphs({"w": w}) == []
+
+    def test_graph_carrying_grad_is_flagged(self):
+        w = Tensor(np.ones((2, 2)), requires_grad=True)
+        loss = ops.sum_(ops.mul(w, w))
+        (g,) = grad(loss, [w], create_graph=True)
+        w.grad = g  # simulates a buggy optimizer retaining the graph
+        findings = detect_retained_graphs({"w": w})
+        assert [f.rule_id for f in findings] == ["AD220"]
+        assert "nodes" in findings[0].message
+
+
+class TestRunGraphChecks:
+    def test_full_run_is_clean(self):
+        report = run_graph_checks()
+        assert report.ok, [f.render() for f in report.findings]
+        assert report.ops_audited == report.ops_total
+        assert set(report.section_seconds) == {
+            "double_backward_audit",
+            "shape_dtype_replay",
+            "retained_graph_check",
+        }
+
+    def test_cli_check_graph_exit_zero(self, capsys):
+        assert main(["check-graph"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_check_graph_json(self, capsys):
+        assert main(["check-graph", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["ops_audited"] == payload["ops_total"]
+
+    def test_cli_records_sanitizer_metrics(self, tmp_path, capsys):
+        out_path = tmp_path / "graph.jsonl"
+        assert main(["check-graph", "--telemetry-out", str(out_path)]) == 0
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line
+        ]
+        names = {r.get("name") for r in records}
+        assert "analysis_check_graph_seconds" in names
+        assert "analysis_ops_audited" in names
