@@ -1,0 +1,139 @@
+"""Ablation — round-engine executors: serial vs process-pool throughput.
+
+The unified round engine runs each node's T0-step block through a pluggable
+``Executor``.  Client blocks between aggregations are independent, so
+``ParallelExecutor`` fans them out across a process pool; deterministic
+per-node seeding (``[seed, block, node]``) plus lossless float64 pickling
+keep the result bit-identical to ``SerialExecutor``.  This bench measures
+the trade — rounds/sec for both executors on the same FedML workload — and
+asserts the parallel path stays seed-deterministic.  The break-even point
+depends on per-block compute: meta-gradients over an MLP amortize the
+pickle/IPC cost; a tiny model would not.  Speedup also needs real cores —
+on a single-CPU machine the pool is pure overhead, so the written record
+includes ``cpus`` and the speedup assertion only applies with >= 2.
+
+Standalone mode writes the CI artifact ``BENCH_engine.json``::
+
+    PYTHONPATH=src python benchmarks/bench_engine_executors.py \
+        --nodes 8 --out BENCH_engine.json
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.engine import ParallelExecutor
+from repro.nn import MLP
+from repro.nn.parameters import to_vector
+
+
+def build_workload(nodes, mean_samples=400):
+    model = MLP(60, (128, 64), 10)
+    fed = generate_synthetic(
+        SyntheticConfig(
+            alpha=0.5, beta=0.5, num_nodes=nodes,
+            mean_samples=mean_samples, seed=1,
+        )
+    )
+    return model, fed, list(range(nodes))
+
+
+def make_runner(model, total_iterations, t0, executor=None):
+    cfg = FedMLConfig(
+        alpha=0.01, beta=0.05, t0=t0, total_iterations=total_iterations,
+        k=5, eval_every=10_000, seed=0,
+    )
+    return FedML(model, cfg, executor=executor)
+
+
+def available_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_comparison(nodes=8, total_iterations=40, t0=5, workers=None):
+    """Time one serial and one parallel fit; return the comparison record."""
+    model, fed, sources = build_workload(nodes)
+    aggregations = total_iterations // t0
+
+    start = time.perf_counter()
+    serial = make_runner(model, total_iterations, t0).fit(fed, sources)
+    serial_s = time.perf_counter() - start
+
+    with ParallelExecutor(max_workers=workers) as pool:
+        runner = make_runner(model, total_iterations, t0, executor=pool)
+        start = time.perf_counter()
+        parallel = runner.fit(fed, sources)
+        parallel_s = time.perf_counter() - start
+
+    deterministic = bool(
+        np.array_equal(to_vector(serial.params), to_vector(parallel.params))
+    )
+    return {
+        "nodes": nodes,
+        "total_iterations": total_iterations,
+        "t0": t0,
+        "rounds": aggregations,
+        "cpus": available_cpus(),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "serial_rounds_per_sec": aggregations / serial_s,
+        "parallel_rounds_per_sec": aggregations / parallel_s,
+        "speedup": serial_s / parallel_s,
+        "deterministic": deterministic,
+    }
+
+
+def test_ablation_parallel_executor(benchmark):
+    """Pytest entry: parallel matches serial bit-for-bit and is faster.
+
+    The speedup assertion needs real cores to share the work; on a
+    single-CPU box a process pool is pure overhead, so only determinism
+    is checked there.
+    """
+    result = benchmark.pedantic(
+        run_comparison, kwargs={"nodes": 8}, rounds=1, iterations=1
+    )
+    assert result["deterministic"], "parallel run diverged from serial"
+    if result["cpus"] >= 2:
+        assert result["speedup"] > 1.0, (
+            f"no speedup at {result['nodes']} nodes on "
+            f"{result['cpus']} cpus: {result['speedup']:.2f}x"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--iterations", type=int, default=40)
+    parser.add_argument("--t0", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args()
+
+    result = run_comparison(
+        nodes=args.nodes, total_iterations=args.iterations, t0=args.t0,
+        workers=args.workers,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+    print(
+        f"{result['nodes']} nodes on {result['cpus']} cpus, "
+        f"{result['rounds']} rounds: "
+        f"serial {result['serial_rounds_per_sec']:.2f} r/s, "
+        f"parallel {result['parallel_rounds_per_sec']:.2f} r/s "
+        f"({result['speedup']:.2f}x, "
+        f"deterministic={result['deterministic']}) -> {args.out}"
+    )
+    return 0 if result["deterministic"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

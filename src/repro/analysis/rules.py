@@ -90,7 +90,7 @@ def register(cls: Type[LintRule]) -> Type[LintRule]:
 
 def default_rules() -> List[LintRule]:
     """One instance of every registered rule (registration is import-driven)."""
-    from . import rules_autodiff, rules_rng, rules_telemetry  # noqa: F401
+    from . import rules_autodiff, rules_engine, rules_rng, rules_telemetry  # noqa: F401
 
     return [cls() for cls in REGISTRY.values()]
 

@@ -1,0 +1,86 @@
+"""Round-engine discipline rule.
+
+The engine refactor centralized the federated round loop — ``T0`` local
+steps, ``platform.aggregate``, broadcast — in :class:`repro.engine.RoundEngine`.
+Hand-rolling that pattern elsewhere forfeits participation sampling,
+non-participant resync, telemetry spans, and the executor layer, and it is
+exactly how the pre-engine algorithms drifted apart (three of seven had
+observability, four did not).  ENG001 keeps the loop in one place:
+
+* direct calls to ``<...>.platform.aggregate(...)`` are flagged — go
+  through ``RoundEngine.fit`` (the engine's own call sites carry
+  ``# reprolint: disable=ENG001``);
+* ``for t in range(...)`` loops that test ``t % <...>.t0`` are flagged as
+  hand-rolled round loops — implement a ``LocalStrategy`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding, Severity
+from .rules import FileContext, LintRule, dotted_parts, register
+
+__all__ = ["EngineBypassRule"]
+
+
+def _is_range_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    )
+
+
+def _is_t0_mod_test(node: ast.AST) -> bool:
+    """Match ``<expr> % <...>.t0`` (or a bare ``t0`` name) anywhere in a test."""
+    for sub in ast.walk(node):
+        if not (isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mod)):
+            continue
+        right = sub.right
+        if isinstance(right, ast.Name) and right.id == "t0":
+            return True
+        parts = dotted_parts(right)
+        if parts and parts[-1] == "t0":
+            return True
+    return False
+
+
+@register
+class EngineBypassRule(LintRule):
+    """ENG001: federated round orchestration outside the engine."""
+
+    id = "ENG001"
+    title = "engine-bypass"
+    severity = Severity.ERROR
+    hint = (
+        "route the round loop through repro.engine.RoundEngine (implement a "
+        "LocalStrategy); only the engine may call platform.aggregate"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == "aggregate":
+                    parts = dotted_parts(func.value)
+                    if parts and parts[-1] == "platform":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "direct platform.aggregate call bypasses the "
+                            "round engine",
+                        )
+            elif isinstance(node, ast.For):
+                if not _is_range_call(node.iter):
+                    continue
+                for stmt in ast.walk(node):
+                    if isinstance(stmt, ast.If) and _is_t0_mod_test(stmt.test):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "hand-rolled T0 round loop duplicates "
+                            "RoundEngine.fit",
+                        )
+                        break

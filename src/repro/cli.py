@@ -54,6 +54,7 @@ from .core import (
     evaluate_adaptation,
 )
 from .core.fedprox import FedProx, FedProxConfig
+from .engine import Executor, ParallelExecutor
 from .data import (
     FederatedDataset,
     MnistLikeConfig,
@@ -130,9 +131,22 @@ def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
     return telemetry
 
 
+def _build_executor(args: argparse.Namespace) -> Optional[Executor]:
+    """Map ``--executor``/``--workers`` to an engine executor (default serial)."""
+    if getattr(args, "executor", "serial") == "parallel":
+        return ParallelExecutor(max_workers=getattr(args, "workers", None))
+    return None
+
+
 def _build_trainer(
-    args: argparse.Namespace, model: Model, telemetry: Optional[Telemetry] = None
+    args: argparse.Namespace,
+    model: Model,
+    telemetry: Optional[Telemetry] = None,
+    executor: Optional[Executor] = None,
 ):
+    # Every algorithm routes through the round engine, so they all accept
+    # the same telemetry/executor plumbing.
+    common = dict(telemetry=telemetry, executor=executor)
     if args.algorithm == "fedml":
         return FedML(
             model,
@@ -142,7 +156,7 @@ def _build_trainer(
                 first_order=args.first_order, eval_every=args.eval_every,
                 seed=args.seed,
             ),
-            telemetry=telemetry,
+            **common,
         )
     if args.algorithm == "robust-fedml":
         return RobustFedML(
@@ -153,7 +167,7 @@ def _build_trainer(
                 lam=args.lam, nu=args.nu, ta=args.ta, n0=args.n0,
                 r_max=args.r_max, eval_every=args.eval_every, seed=args.seed,
             ),
-            telemetry=telemetry,
+            **common,
         )
     if args.algorithm == "fedavg":
         return FedAvg(
@@ -163,7 +177,7 @@ def _build_trainer(
                 total_iterations=args.iterations, eval_every=args.eval_every,
                 seed=args.seed,
             ),
-            telemetry=telemetry,
+            **common,
         )
     if args.algorithm == "fedprox":
         return FedProx(
@@ -173,6 +187,7 @@ def _build_trainer(
                 total_iterations=args.iterations, eval_every=args.eval_every,
                 seed=args.seed,
             ),
+            **common,
         )
     if args.algorithm == "reptile":
         return FederatedReptile(
@@ -182,6 +197,7 @@ def _build_trainer(
                 total_iterations=args.iterations, k=args.k,
                 eval_every=args.eval_every, seed=args.seed,
             ),
+            **common,
         )
     if args.algorithm == "meta-sgd":
         return FederatedMetaSGD(
@@ -191,6 +207,7 @@ def _build_trainer(
                 total_iterations=args.iterations, k=args.k,
                 eval_every=args.eval_every, seed=args.seed,
             ),
+            **common,
         )
     if args.algorithm == "adml":
         return FederatedADML(
@@ -201,6 +218,7 @@ def _build_trainer(
                 epsilon=args.epsilon, eval_every=args.eval_every,
                 seed=args.seed,
             ),
+            **common,
         )
     raise ValueError(f"unknown algorithm '{args.algorithm}'")
 
@@ -234,24 +252,24 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.source_fraction, np.random.default_rng(args.split_seed)
     )
     telemetry = _build_telemetry(args)
-    trainer = _build_trainer(args, model, telemetry)
-    # Trainers without a telemetry argument still get platform-level byte
-    # accounting: the platform carries its own optional collector.
-    if telemetry is not None and getattr(trainer, "platform", None) is not None:
-        if trainer.platform.telemetry is None:
-            trainer.platform.telemetry = telemetry
+    executor = _build_executor(args)
+    trainer = _build_trainer(args, model, telemetry, executor)
 
-    if args.profile_tape:
-        from .autodiff.profile import profile_ops
+    try:
+        if args.profile_tape:
+            from .autodiff.profile import profile_ops
 
-        with profile_ops() as tape_profile:
+            with profile_ops() as tape_profile:
+                result = trainer.fit(federated, sources)
+            if telemetry is not None:
+                tape_profile.to_registry(telemetry.registry)
+            if not args.json:
+                print(tape_profile.summary(top=10))
+        else:
             result = trainer.fit(federated, sources)
-        if telemetry is not None:
-            tape_profile.to_registry(telemetry.registry)
-        if not args.json:
-            print(tape_profile.summary(top=10))
-    else:
-        result = trainer.fit(federated, sources)
+    finally:
+        if executor is not None:
+            executor.close()
 
     history = result.history
     loss_key = (
@@ -441,6 +459,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--mu-prox", type=float, default=0.1)
     # ADML knob.
     train.add_argument("--epsilon", type=float, default=0.1)
+    # Execution.
+    train.add_argument(
+        "--executor", choices=["serial", "parallel"], default="serial",
+        help="run each node's local steps serially or in a process pool "
+        "(bit-identical results either way)",
+    )
+    train.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process count for --executor parallel (default: os.cpu_count())",
+    )
     # Observability.
     train.add_argument(
         "--telemetry-out", default=None, metavar="PATH",

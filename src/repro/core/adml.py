@@ -16,6 +16,10 @@ Contrast with Robust FedML (Algorithm 2): ADML regenerates perturbations
 to one attack form), whereas the DRO scheme amortizes perturbation
 construction over an adversarial dataset grown on a fixed schedule and is
 derived from a distributional robustness objective.
+
+:class:`FederatedADML` is a facade over :class:`repro.engine.RoundEngine`
++ :class:`repro.engine.AdmlStrategy`; routing through the engine gives it
+the participation sampling and telemetry spans it previously lacked.
 """
 
 from __future__ import annotations
@@ -23,17 +27,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..attacks.fgsm import fgsm
-from ..data.dataset import Dataset, FederatedDataset
-from ..federated.node import EdgeNode, build_nodes
+from ..data.dataset import FederatedDataset
+from ..engine import AdmlStrategy, RoundEngine, RunnerStepAdapter
+from ..engine.executors import Executor
+from ..federated.node import EdgeNode
 from ..federated.platform import Platform
+from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
-from ..nn.parameters import Params, add_scaled, detach
+from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry
 from ..utils.logging import RunLogger
-from .maml import LossFn, meta_gradient, meta_loss
+from .maml import LossFn
 
 __all__ = ["ADMLConfig", "ADMLResult", "FederatedADML"]
 
@@ -82,103 +87,53 @@ class FederatedADML:
         config: ADMLConfig,
         loss_fn: LossFn = cross_entropy,
         platform: Optional[Platform] = None,
+        participation=None,
+        telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.model = model
         self.config = config
         self.loss_fn = loss_fn
         self.platform = platform if platform is not None else Platform()
-
-    def _perturbed_split(self, node: EdgeNode):
-        """FGSM-corrupt the node's inner training set against its model."""
-        from ..data.dataset import NodeSplit
-
-        assert node.params is not None
-        cfg = self.config
-        adv_x = fgsm(
-            self.model,
-            node.params,
-            node.split.train.x,
-            node.split.train.y,
-            xi=cfg.epsilon,
-            loss_fn=self.loss_fn,
+        self.participation = (
+            participation if participation is not None else FullParticipation()
         )
-        adv_train = Dataset(x=adv_x, y=node.split.train.y.copy())
-        return NodeSplit(train=adv_train, test=node.split.test)
-
-    def local_step(self, node: EdgeNode) -> float:
-        assert node.params is not None
-        cfg = self.config
-        # Inner update from adversarial support data; outer loss on both the
-        # clean test set (via the split) and an FGSM-perturbed copy of it.
-        adversarial_split = self._perturbed_split(node)
-        adv_test_x = fgsm(
-            self.model,
-            node.params,
-            node.split.test.x,
-            node.split.test.y,
-            xi=cfg.epsilon,
-            loss_fn=self.loss_fn,
-        )
-        extra = [Dataset(x=adv_test_x, y=node.split.test.y.copy())]
-        gradient, value = meta_gradient(
-            self.model,
-            node.params,
-            adversarial_split,
-            cfg.alpha,
-            loss_fn=self.loss_fn,
-            first_order=cfg.first_order,
-            extra_test_sets=extra,
-        )
-        node.params = add_scaled(node.params, gradient, -cfg.beta)
-        node.record_local_step(gradient_evals=4)  # 2 attacks + inner + outer
-        return value
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
+        self.executor = executor
+        self.strategy = AdmlStrategy(model, config, loss_fn)
 
     def global_meta_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
-        total = 0.0
-        weight_sum = sum(node.weight for node in nodes)
-        for node in nodes:
-            value = meta_loss(
-                self.model, params, node.split, self.config.alpha,
-                loss_fn=self.loss_fn,
-            )
-            total += node.weight / weight_sum * value
-        return total
+        return self.strategy.global_meta_loss(params, nodes)
+
+    def local_step(self, node: EdgeNode) -> float:
+        """One adversarial meta-update (FGSM inner + clean/perturbed outer)."""
+        return self.strategy.local_step(node)
+
+    def _engine_strategy(self):
+        if type(self).local_step is not FederatedADML.local_step:
+            return RunnerStepAdapter(self.strategy, self)
+        return self.strategy
 
     def fit(
         self,
         federated: FederatedDataset,
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
+        verbose: bool = False,
     ) -> ADMLResult:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        datasets = [federated.nodes[i] for i in source_ids]
-        nodes = build_nodes(datasets, cfg.k, node_ids=list(source_ids))
-
-        params = (
-            detach(init_params) if init_params is not None else self.model.init(rng)
+        engine = RoundEngine(
+            self._engine_strategy(),
+            platform=self.platform,
+            participation=self.participation,
+            telemetry=self.telemetry,
+            executor=self.executor,
         )
-        self.platform.initialize(params, nodes)
-        history = RunLogger(name="adml")
-        history.log(0, global_meta_loss=self.global_meta_loss(params, nodes))
-
-        aggregations = 0
-        for t in range(1, cfg.total_iterations + 1):
-            for node in nodes:
-                self.local_step(node)
-            if t % cfg.t0 == 0:
-                aggregated = self.platform.aggregate(nodes)
-                aggregations += 1
-                if aggregations % cfg.eval_every == 0:
-                    history.log(
-                        t,
-                        global_meta_loss=self.global_meta_loss(aggregated, nodes),
-                    )
-
-        final = self.platform.global_params
-        if final is None:
-            final = self.platform.aggregate(nodes)
+        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
         return ADMLResult(
-            params=detach(final), nodes=nodes, platform=self.platform,
-            history=history,
+            params=run.params,
+            nodes=run.nodes,
+            platform=run.platform,
+            history=run.history,
         )

@@ -6,6 +6,9 @@ dataset is used for training in Fedavg"), then the platform averages.  The
 result is a good consensus model but — as Figures 3(c)–(e) show — a poor
 *initialization* for few-shot adaptation, which is the phenomenon FedML
 exists to fix.
+
+:class:`FedAvg` is a facade over :class:`repro.engine.RoundEngine` +
+:class:`repro.engine.SgdStrategy`.
 """
 
 from __future__ import annotations
@@ -13,17 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..autodiff import grad
-from ..data.dataset import Dataset, FederatedDataset
+from ..data.dataset import FederatedDataset
+from ..engine import RoundEngine, RunnerStepAdapter, SgdStrategy
+from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
 from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
-from ..nn.parameters import Params, add_scaled, detach, require_grad
-from ..obs.telemetry import Telemetry, resolve
+from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry
 from ..utils.logging import RunLogger
 from .maml import LossFn
 
@@ -70,6 +72,7 @@ class FedAvg:
         platform: Optional[Platform] = None,
         participation=None,
         telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -81,28 +84,21 @@ class FedAvg:
         self.telemetry = telemetry
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
-
-    def _local_gradient(self, params: Params, data: Dataset) -> Params:
-        theta = require_grad(params)
-        loss = self.loss_fn(self.model.apply(theta, data.x), data.y)
-        names = sorted(theta)
-        grads = grad(loss, [theta[n] for n in names], allow_unused=True)
-        out: Params = {}
-        for name, g in zip(names, grads):
-            out[name] = g if g is not None else theta[name] * 0.0
-        return out
+        self.executor = executor
+        self.strategy = SgdStrategy(model, config, loss_fn)
 
     def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
         """Weighted empirical loss ``L_w(theta)`` (eq. 2)."""
-        total = 0.0
-        weight_sum = sum(node.weight for node in nodes)
-        for node in nodes:
-            data = node.split.train.concat(node.split.test)
-            value = self.loss_fn(
-                self.model.apply(params, data.x), data.y
-            ).item()
-            total += node.weight / weight_sum * value
-        return total
+        return self.strategy.global_loss(params, nodes)
+
+    def local_step(self, node: EdgeNode) -> float:
+        """One SGD step on the node's full local dataset."""
+        return self.strategy.local_step(node)
+
+    def _engine_strategy(self):
+        if type(self).local_step is not FedAvg.local_step:
+            return RunnerStepAdapter(self.strategy, self)
+        return self.strategy
 
     def fit(
         self,
@@ -111,74 +107,17 @@ class FedAvg:
         init_params: Optional[Params] = None,
         verbose: bool = False,
     ) -> FedAvgResult:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        from ..federated.node import build_nodes
-
-        # FedAvg ignores the K-split for training (it uses all local data),
-        # but we keep the same node/weight construction for comparability.
-        datasets = [federated.nodes[i] for i in source_ids]
-        min_size = min(len(d) for d in datasets)
-        nodes = build_nodes(datasets, max(1, min(2, min_size - 1)), node_ids=list(source_ids))
-
-        params = (
-            detach(init_params) if init_params is not None else self.model.init(rng)
+        engine = RoundEngine(
+            self._engine_strategy(),
+            platform=self.platform,
+            participation=self.participation,
+            telemetry=self.telemetry,
+            executor=self.executor,
         )
-        self.platform.initialize(params, nodes)
-        tel = resolve(self.telemetry)
-        history = RunLogger(
-            name="fedavg",
-            verbose=verbose,
-            registry=self.telemetry.registry if self.telemetry else None,
-        )
-        history.log(0, global_loss=self.global_loss(params, nodes), uplink_bytes=0)
-
-        full_data = {
-            node.node_id: node.split.train.concat(node.split.test) for node in nodes
-        }
-
-        rounds_total = tel.counter("fl_rounds_total", algorithm="fedavg")
-        steps_total = tel.counter("fl_local_steps_total", algorithm="fedavg")
-        fit_span = tel.span("fit", algorithm="fedavg")
-        round_span = tel.span("round")
-        aggregations = 0
-        for t in range(1, cfg.total_iterations + 1):
-            with tel.span("local_steps"):
-                for node in nodes:
-                    assert node.params is not None
-                    gradient = self._local_gradient(
-                        node.params, full_data[node.node_id]
-                    )
-                    node.params = add_scaled(
-                        node.params, gradient, -cfg.learning_rate
-                    )
-                    node.record_local_step(gradient_evals=1)
-                steps_total.inc(len(nodes))
-            if t % cfg.t0 == 0:
-                with tel.span("aggregate"):
-                    participating = self.participation.select(nodes, t // cfg.t0)
-                    aggregated = self.platform.aggregate(participating)
-                    for node in nodes:
-                        if node not in participating:
-                            node.params = detach(aggregated)
-                aggregations += 1
-                rounds_total.inc()
-                if aggregations % cfg.eval_every == 0:
-                    with tel.span("evaluate"):
-                        history.log(
-                            t,
-                            global_loss=self.global_loss(aggregated, nodes),
-                            uplink_bytes=self.platform.comm_log.uplink_bytes,
-                        )
-                round_span.end()
-                if t < cfg.total_iterations:
-                    round_span = tel.span("round")
-        round_span.end()
-        fit_span.end()
-
-        final = self.platform.global_params
-        if final is None:
-            final = self.platform.aggregate(nodes)
+        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
         return FedAvgResult(
-            params=detach(final), nodes=nodes, platform=self.platform, history=history
+            params=run.params,
+            nodes=run.nodes,
+            platform=run.platform,
+            history=run.history,
         )

@@ -12,6 +12,11 @@ and every ``T0`` iterations the platform aggregates
 and broadcasts it back.  ``T0`` is the paper's knob trading communication
 cost against local computation (Theorem 2 characterizes the error it
 introduces).
+
+:class:`FedML` is a facade: the round loop itself lives in
+:class:`repro.engine.RoundEngine` and the local update in
+:class:`repro.engine.MetaStrategy`; this class keeps the public surface
+(``fit`` signature, :class:`FedMLResult`, ``local_step`` et al.) stable.
 """
 
 from __future__ import annotations
@@ -19,18 +24,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from ..data.dataset import FederatedDataset
-from ..federated.node import EdgeNode, build_nodes
+from ..engine import MetaStrategy, RoundEngine, RunnerStepAdapter
+from ..engine.executors import Executor
+from ..federated.node import EdgeNode
 from ..federated.platform import Platform
 from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
-from ..nn.parameters import Params, add_scaled, detach
-from ..obs.telemetry import Telemetry, resolve
+from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry
 from ..utils.logging import RunLogger
-from .maml import LossFn, meta_gradient, meta_loss
+from .maml import LossFn
 
 __all__ = ["FedMLConfig", "FedMLResult", "FedML"]
 
@@ -110,6 +115,7 @@ class FedML:
         platform: Optional[Platform] = None,
         participation=None,
         telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -121,45 +127,29 @@ class FedML:
         self.telemetry = telemetry
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
+        self.executor = executor
+        self.strategy = MetaStrategy(model, config, loss_fn)
 
     # ------------------------------------------------------------------
     def build_source_nodes(
         self, federated: FederatedDataset, source_ids: Sequence[int]
     ) -> List[EdgeNode]:
-        datasets = [federated.nodes[i] for i in source_ids]
-        return build_nodes(datasets, self.config.k, node_ids=list(source_ids))
+        return self.strategy.build_nodes(federated, source_ids)
 
     def global_meta_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
         """``G(theta) = Σ ω_i G_i(theta)`` over the source nodes."""
-        total = 0.0
-        weight_sum = sum(node.weight for node in nodes)
-        for node in nodes:
-            value = meta_loss(
-                self.model,
-                params,
-                node.split,
-                self.config.alpha,
-                inner_steps=self.config.inner_steps,
-                loss_fn=self.loss_fn,
-            )
-            total += node.weight / weight_sum * value
-        return total
+        return self.strategy.global_meta_loss(params, nodes)
 
     def local_step(self, node: EdgeNode) -> float:
         """One local meta-update (eq. 3 + eq. 4) on ``node``; returns its loss."""
-        assert node.params is not None
-        gradient, value = meta_gradient(
-            self.model,
-            node.params,
-            node.split,
-            self.config.alpha,
-            inner_steps=self.config.inner_steps,
-            loss_fn=self.loss_fn,
-            first_order=self.config.first_order,
-        )
-        node.params = add_scaled(node.params, gradient, -self.config.beta)
-        node.record_local_step()
-        return value
+        return self.strategy.local_step(node)
+
+    def _engine_strategy(self):
+        # Subclasses (the ablation benches) override local_step to inject
+        # faults; route the engine through the override when present.
+        if type(self).local_step is not FedML.local_step:
+            return RunnerStepAdapter(self.strategy, self)
+        return self.strategy
 
     # ------------------------------------------------------------------
     def fit(
@@ -170,63 +160,17 @@ class FedML:
         verbose: bool = False,
     ) -> FedMLResult:
         """Run Algorithm 1 and return the learned initialization."""
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        tel = resolve(self.telemetry)
-        nodes = self.build_source_nodes(federated, source_ids)
-
-        params = (
-            detach(init_params) if init_params is not None else self.model.init(rng)
+        engine = RoundEngine(
+            self._engine_strategy(),
+            platform=self.platform,
+            participation=self.participation,
+            telemetry=self.telemetry,
+            executor=self.executor,
         )
-        self.platform.initialize(params, nodes)
-
-        history = RunLogger(
-            name="fedml",
-            verbose=verbose,
-            registry=self.telemetry.registry if self.telemetry else None,
-        )
-        initial = self.global_meta_loss(self.platform.global_params, nodes)
-        history.log(0, global_meta_loss=initial, uplink_bytes=0)
-
-        rounds_total = tel.counter("fl_rounds_total", algorithm="fedml")
-        steps_total = tel.counter("fl_local_steps_total", algorithm="fedml")
-        fit_span = tel.span("fit", algorithm="fedml")
-        round_span = tel.span("round")
-        aggregations = 0
-        for t in range(1, cfg.total_iterations + 1):
-            with tel.span("local_steps"):
-                for node in nodes:
-                    self.local_step(node)
-                steps_total.inc(len(nodes))
-            if t % cfg.t0 == 0:
-                with tel.span("aggregate"):
-                    participating = self.participation.select(nodes, t // cfg.t0)
-                    aggregated = self.platform.aggregate(participating)
-                    # Nodes outside the participating set resynchronize too —
-                    # the paper broadcasts theta^{t+1} to all of S.
-                    for node in nodes:
-                        if node not in participating:
-                            node.params = detach(aggregated)
-                aggregations += 1
-                rounds_total.inc()
-                if aggregations % cfg.eval_every == 0:
-                    with tel.span("evaluate"):
-                        history.log(
-                            t,
-                            global_meta_loss=self.global_meta_loss(
-                                aggregated, nodes
-                            ),
-                            uplink_bytes=self.platform.comm_log.uplink_bytes,
-                        )
-                round_span.end()
-                if t < cfg.total_iterations:
-                    round_span = tel.span("round")
-        round_span.end()
-        fit_span.end()
-
-        final = self.platform.global_params
-        if final is None:  # T < T0: no aggregation happened; average manually
-            final = self.platform.aggregate(nodes)
+        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
         return FedMLResult(
-            params=detach(final), nodes=nodes, platform=self.platform, history=history
+            params=run.params,
+            nodes=run.nodes,
+            platform=run.platform,
+            history=run.history,
         )

@@ -10,6 +10,10 @@ Like FedAvg it learns a consensus model (not an initialization), so it
 shares FedAvg's weakness at few-shot adaptation — but it converges more
 stably when nodes drift (large T0 or very dissimilar nodes), which the
 ablation benches exercise.
+
+:class:`FedProx` is a facade over :class:`repro.engine.RoundEngine` +
+:class:`repro.engine.ProxStrategy`; routing through the engine gives it
+the participation sampling and telemetry spans it previously lacked.
 """
 
 from __future__ import annotations
@@ -17,15 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..autodiff import Tensor, grad
-from ..data.dataset import Dataset, FederatedDataset
-from ..federated.node import EdgeNode, build_nodes
+from ..data.dataset import FederatedDataset
+from ..engine import ProxStrategy, RoundEngine, RunnerStepAdapter
+from ..engine.executors import Executor
+from ..federated.node import EdgeNode
 from ..federated.platform import Platform
+from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
-from ..nn.parameters import Params, detach, require_grad
+from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry
 from ..utils.logging import RunLogger
 from .maml import LossFn
 
@@ -73,90 +78,53 @@ class FedProx:
         config: FedProxConfig,
         loss_fn: LossFn = cross_entropy,
         platform: Optional[Platform] = None,
+        participation=None,
+        telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.model = model
         self.config = config
         self.loss_fn = loss_fn
         self.platform = platform if platform is not None else Platform()
-
-    def _proximal_gradient(
-        self, params: Params, anchor: Params, data: Dataset
-    ) -> Params:
-        """∇[L_i(θ) + (μ/2)‖θ − θ_anchor‖²]."""
-        theta = require_grad(params)
-        loss = self.loss_fn(self.model.apply(theta, data.x), data.y)
-        names = sorted(theta)
-        grads = grad(loss, [theta[n] for n in names], allow_unused=True)
-        out: Params = {}
-        for name, g in zip(names, grads):
-            data_grad = np.zeros_like(theta[name].data) if g is None else g.data
-            prox = self.config.mu_prox * (theta[name].data - anchor[name].data)
-            out[name] = Tensor(data_grad + prox)
-        return out
+        self.participation = (
+            participation if participation is not None else FullParticipation()
+        )
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
+        self.executor = executor
+        self.strategy = ProxStrategy(model, config, loss_fn)
 
     def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
-        total = 0.0
-        weight_sum = sum(node.weight for node in nodes)
-        for node in nodes:
-            data = node.split.train.concat(node.split.test)
-            value = self.loss_fn(self.model.apply(params, data.x), data.y).item()
-            total += node.weight / weight_sum * value
-        return total
+        return self.strategy.global_loss(params, nodes)
+
+    def local_step(self, node: EdgeNode) -> float:
+        """One proximal SGD step on the node's full local dataset."""
+        return self.strategy.local_step(node)
+
+    def _engine_strategy(self):
+        if type(self).local_step is not FedProx.local_step:
+            return RunnerStepAdapter(self.strategy, self)
+        return self.strategy
 
     def fit(
         self,
         federated: FederatedDataset,
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
+        verbose: bool = False,
     ) -> FedProxResult:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        datasets = [federated.nodes[i] for i in source_ids]
-        min_size = min(len(d) for d in datasets)
-        nodes = build_nodes(
-            datasets, max(1, min(2, min_size - 1)), node_ids=list(source_ids)
+        engine = RoundEngine(
+            self._engine_strategy(),
+            platform=self.platform,
+            participation=self.participation,
+            telemetry=self.telemetry,
+            executor=self.executor,
         )
-
-        params = (
-            detach(init_params) if init_params is not None else self.model.init(rng)
-        )
-        self.platform.initialize(params, nodes)
-        history = RunLogger(name="fedprox")
-        history.log(0, global_loss=self.global_loss(params, nodes))
-
-        full_data = {
-            node.node_id: node.split.train.concat(node.split.test) for node in nodes
-        }
-        anchor = detach(params)
-
-        aggregations = 0
-        for t in range(1, cfg.total_iterations + 1):
-            for node in nodes:
-                assert node.params is not None
-                gradient = self._proximal_gradient(
-                    node.params, anchor, full_data[node.node_id]
-                )
-                node.params = {
-                    name: Tensor(
-                        node.params[name].data
-                        - cfg.learning_rate * gradient[name].data
-                    )
-                    for name in node.params
-                }
-                node.record_local_step(gradient_evals=1)
-            if t % cfg.t0 == 0:
-                aggregated = self.platform.aggregate(nodes)
-                anchor = detach(aggregated)
-                aggregations += 1
-                if aggregations % cfg.eval_every == 0:
-                    history.log(
-                        t, global_loss=self.global_loss(aggregated, nodes)
-                    )
-
-        final = self.platform.global_params
-        if final is None:
-            final = self.platform.aggregate(nodes)
+        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
         return FedProxResult(
-            params=detach(final), nodes=nodes, platform=self.platform,
-            history=history,
+            params=run.params,
+            nodes=run.nodes,
+            platform=run.platform,
+            history=run.history,
         )

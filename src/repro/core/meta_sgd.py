@@ -12,6 +12,11 @@ under the same FedML communication pattern (T0 local steps, weighted
 aggregation of both trees), making it a natural "learned-α" extension of
 Algorithm 1 — the paper's future-work direction of tuning the adaptation
 step automatically.
+
+:class:`FederatedMetaSGD` is a facade over
+:class:`repro.engine.RoundEngine` + :class:`repro.engine.MetaSgdStrategy`;
+the engine drives a *merged* ``theta::``/``logalpha::`` parameter tree and
+the facade splits it back for :class:`MetaSGDResult`.
 """
 
 from __future__ import annotations
@@ -21,13 +26,23 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, grad, ops
+from ..autodiff import Tensor
 from ..data.dataset import FederatedDataset, NodeSplit
-from ..federated.node import EdgeNode, build_nodes
+from ..engine import (
+    MetaSgdStrategy,
+    RoundEngine,
+    RunnerStepAdapter,
+    merge_meta_sgd_trees,
+    split_meta_sgd_trees,
+)
+from ..engine.executors import Executor
+from ..federated.node import EdgeNode
 from ..federated.platform import Platform
+from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
-from ..nn.parameters import Params, detach
+from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry
 from ..utils.logging import RunLogger
 from .maml import LossFn
 
@@ -73,21 +88,11 @@ class MetaSGDResult:
 
 
 def _merge(params: Params, log_alpha: Params) -> Params:
-    merged = {f"theta::{n}": t for n, t in params.items()}
-    merged.update({f"logalpha::{n}": t for n, t in log_alpha.items()})
-    return merged
+    return merge_meta_sgd_trees(params, log_alpha)
 
 
 def _split(merged: Params) -> Tuple[Params, Params]:
-    params = {
-        n[len("theta::"):]: t for n, t in merged.items() if n.startswith("theta::")
-    }
-    log_alpha = {
-        n[len("logalpha::"):]: t
-        for n, t in merged.items()
-        if n.startswith("logalpha::")
-    }
-    return params, log_alpha
+    return split_meta_sgd_trees(merged)
 
 
 class FederatedMetaSGD:
@@ -99,95 +104,46 @@ class FederatedMetaSGD:
         config: MetaSGDConfig,
         loss_fn: LossFn = cross_entropy,
         platform: Optional[Platform] = None,
+        participation=None,
+        telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.model = model
         self.config = config
         self.loss_fn = loss_fn
         self.platform = platform if platform is not None else Platform()
+        self.participation = (
+            participation if participation is not None else FullParticipation()
+        )
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
+        self.executor = executor
+        self.strategy = MetaSgdStrategy(model, config, loss_fn)
 
     # ------------------------------------------------------------------
     def adapt(
         self, params: Params, log_alpha: Params, split: NodeSplit
     ) -> Params:
         """One learned-rate inner step (detached, for evaluation)."""
-        theta = {n: Tensor(t.data, requires_grad=True) for n, t in params.items()}
-        loss = self.loss_fn(self.model.apply(theta, split.train.x), split.train.y)
-        names = sorted(theta)
-        grads = grad(loss, [theta[n] for n in names], allow_unused=True)
-        phi: Params = {}
-        for name, g in zip(names, grads):
-            rate = np.exp(log_alpha[name].data)
-            if g is None:
-                phi[name] = Tensor(theta[name].data.copy())
-            else:
-                phi[name] = Tensor(theta[name].data - rate * g.data)
-        return phi
+        return self.strategy.adapt(params, log_alpha, split)
 
     def meta_loss(
         self, params: Params, log_alpha: Params, split: NodeSplit
     ) -> float:
-        phi = self.adapt(params, log_alpha, split)
-        return self.loss_fn(
-            self.model.apply(phi, split.test.x), split.test.y
-        ).item()
-
-    def _local_step(self, node: EdgeNode) -> float:
-        assert node.params is not None
-        cfg = self.config
-        params, log_alpha = _split(node.params)
-        theta = {
-            n: Tensor(t.data, requires_grad=True) for n, t in params.items()
-        }
-        log_a = {
-            n: Tensor(t.data, requires_grad=True) for n, t in log_alpha.items()
-        }
-
-        inner = self.loss_fn(
-            self.model.apply(theta, node.split.train.x), node.split.train.y
-        )
-        names = sorted(theta)
-        inner_grads = grad(
-            inner, [theta[n] for n in names], create_graph=True, allow_unused=True
-        )
-        phi: Params = {}
-        for name, g in zip(names, inner_grads):
-            if g is None:
-                phi[name] = theta[name]
-            else:
-                phi[name] = theta[name] - ops.exp(log_a[name]) * g
-        outer = self.loss_fn(
-            self.model.apply(phi, node.split.test.x), node.split.test.y
-        )
-
-        leaves = [theta[n] for n in names] + [log_a[n] for n in names]
-        meta_grads = grad(outer, leaves, allow_unused=True)
-        updated: Params = {}
-        for i, name in enumerate(names):
-            g_theta = meta_grads[i]
-            g_alpha = meta_grads[len(names) + i]
-            updated[f"theta::{name}"] = Tensor(
-                theta[name].data
-                - (0.0 if g_theta is None else cfg.beta * g_theta.data)
-            )
-            updated[f"logalpha::{name}"] = Tensor(
-                log_a[name].data
-                - (0.0 if g_alpha is None else cfg.beta * g_alpha.data)
-            )
-        node.params = updated
-        node.record_local_step()
-        return outer.item()
+        return self.strategy.meta_loss(params, log_alpha, split)
 
     def global_meta_loss(self, merged: Params, nodes: Sequence[EdgeNode]) -> float:
-        params, log_alpha = _split(merged)
-        total = 0.0
-        weight_sum = sum(node.weight for node in nodes)
-        for node in nodes:
-            total += (
-                node.weight
-                / weight_sum
-                * self.meta_loss(params, log_alpha, node.split)
-            )
-        return total
+        return self.strategy.global_meta_loss(merged, nodes)
+
+    def local_step(self, node: EdgeNode) -> float:
+        """One joint (theta, log_alpha) meta-update on ``node``."""
+        return self.strategy.local_step(node)
+
+    def _engine_strategy(self):
+        if type(self).local_step is not FederatedMetaSGD.local_step:
+            return RunnerStepAdapter(self.strategy, self)
+        return self.strategy
 
     # ------------------------------------------------------------------
     def fit(
@@ -195,46 +151,21 @@ class FederatedMetaSGD:
         federated: FederatedDataset,
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
+        verbose: bool = False,
     ) -> MetaSGDResult:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        datasets = [federated.nodes[i] for i in source_ids]
-        nodes = build_nodes(datasets, cfg.k, node_ids=list(source_ids))
-
-        params = (
-            detach(init_params) if init_params is not None else self.model.init(rng)
+        engine = RoundEngine(
+            self._engine_strategy(),
+            platform=self.platform,
+            participation=self.participation,
+            telemetry=self.telemetry,
+            executor=self.executor,
         )
-        log_alpha = {
-            name: Tensor(np.full(t.shape, np.log(cfg.alpha_init)))
-            for name, t in params.items()
-        }
-        merged = _merge(params, log_alpha)
-        self.platform.initialize(merged, nodes)
-
-        history = RunLogger(name="meta-sgd")
-        history.log(0, global_meta_loss=self.global_meta_loss(merged, nodes))
-
-        aggregations = 0
-        for t in range(1, cfg.total_iterations + 1):
-            for node in nodes:
-                self._local_step(node)
-            if t % cfg.t0 == 0:
-                aggregated = self.platform.aggregate(nodes)
-                aggregations += 1
-                if aggregations % cfg.eval_every == 0:
-                    history.log(
-                        t,
-                        global_meta_loss=self.global_meta_loss(aggregated, nodes),
-                    )
-
-        final = self.platform.global_params
-        if final is None:
-            final = self.platform.aggregate(nodes)
-        final_params, final_log_alpha = _split(detach(final))
+        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        final_params, final_log_alpha = split_meta_sgd_trees(run.params)
         return MetaSGDResult(
             params=final_params,
             log_alpha=final_log_alpha,
-            nodes=nodes,
-            platform=self.platform,
-            history=history,
+            nodes=run.nodes,
+            platform=run.platform,
+            history=run.history,
         )

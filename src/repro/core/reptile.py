@@ -6,6 +6,10 @@ main Hessian-free alternative to MAML; we provide a federated variant as an
 ablation baseline: each node runs ``inner_steps`` SGD steps on its full
 local data and moves its meta-parameters toward the result; the platform
 aggregates every ``t0`` local meta-steps.
+
+:class:`FederatedReptile` is a facade over :class:`repro.engine.RoundEngine`
++ :class:`repro.engine.ReptileStrategy`; routing through the engine gives it
+the participation sampling and telemetry spans it previously lacked.
 """
 
 from __future__ import annotations
@@ -13,17 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..autodiff import Tensor, grad
 from ..data.dataset import FederatedDataset
-from ..federated.node import EdgeNode, build_nodes
+from ..engine import ReptileStrategy, RoundEngine, RunnerStepAdapter
+from ..engine.executors import Executor
+from ..federated.node import EdgeNode
 from ..federated.platform import Platform
+from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
-from ..nn.parameters import Params, detach, require_grad
+from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry
 from ..utils.logging import RunLogger
-from .maml import LossFn, meta_loss
+from .maml import LossFn
 
 __all__ = ["ReptileConfig", "ReptileResult", "FederatedReptile"]
 
@@ -63,78 +68,53 @@ class FederatedReptile:
         config: ReptileConfig,
         loss_fn: LossFn = cross_entropy,
         platform: Optional[Platform] = None,
+        participation=None,
+        telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.model = model
         self.config = config
         self.loss_fn = loss_fn
         self.platform = platform if platform is not None else Platform()
+        self.participation = (
+            participation if participation is not None else FullParticipation()
+        )
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
+        self.executor = executor
+        self.strategy = ReptileStrategy(model, config, loss_fn)
 
-    def _sgd_steps(self, params: Params, x, y, steps: int) -> Params:
-        current = detach(params)
-        for _ in range(steps):
-            theta = require_grad(current)
-            loss = self.loss_fn(self.model.apply(theta, x), y)
-            names = sorted(theta)
-            grads = grad(loss, [theta[n] for n in names], allow_unused=True)
-            current = {
-                name: Tensor(
-                    theta[name].data
-                    - (0.0 if g is None else self.config.inner_lr * g.data)
-                )
-                for name, g in zip(names, grads)
-            }
-        return current
+    def global_meta_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
+        return self.strategy.global_meta_loss(params, nodes)
 
-    def local_step(self, node: EdgeNode) -> None:
-        assert node.params is not None
-        data = node.split.train.concat(node.split.test)
-        phi = self._sgd_steps(node.params, data.x, data.y, self.config.inner_steps)
-        node.params = {
-            name: Tensor(
-                node.params[name].data
-                + self.config.outer_lr * (phi[name].data - node.params[name].data)
-            )
-            for name in node.params
-        }
-        node.record_local_step(gradient_evals=self.config.inner_steps)
+    def local_step(self, node: EdgeNode) -> float:
+        """One Reptile meta-step (inner SGD + interpolation) on ``node``."""
+        return self.strategy.local_step(node)
+
+    def _engine_strategy(self):
+        if type(self).local_step is not FederatedReptile.local_step:
+            return RunnerStepAdapter(self.strategy, self)
+        return self.strategy
 
     def fit(
         self,
         federated: FederatedDataset,
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
+        verbose: bool = False,
     ) -> ReptileResult:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        datasets = [federated.nodes[i] for i in source_ids]
-        nodes = build_nodes(datasets, cfg.k, node_ids=list(source_ids))
-        params = (
-            detach(init_params) if init_params is not None else self.model.init(rng)
+        engine = RoundEngine(
+            self._engine_strategy(),
+            platform=self.platform,
+            participation=self.participation,
+            telemetry=self.telemetry,
+            executor=self.executor,
         )
-        self.platform.initialize(params, nodes)
-        history = RunLogger(name="reptile")
-
-        aggregations = 0
-        for t in range(1, cfg.total_iterations + 1):
-            for node in nodes:
-                self.local_step(node)
-            if t % cfg.t0 == 0:
-                aggregated = self.platform.aggregate(nodes)
-                aggregations += 1
-                if aggregations % cfg.eval_every == 0:
-                    value = sum(
-                        node.weight
-                        * meta_loss(
-                            self.model, aggregated, node.split, cfg.inner_lr,
-                            loss_fn=self.loss_fn,
-                        )
-                        for node in nodes
-                    )
-                    history.log(t, global_meta_loss=value)
-
-        final = self.platform.global_params
-        if final is None:
-            final = self.platform.aggregate(nodes)
+        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
         return ReptileResult(
-            params=detach(final), nodes=nodes, platform=self.platform, history=history
+            params=run.params,
+            nodes=run.nodes,
+            platform=run.platform,
+            history=run.history,
         )

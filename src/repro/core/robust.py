@@ -10,6 +10,10 @@ where ``D_i^adv`` is grown periodically (every ``N0·T0`` iterations, at most
 of gradient ascent at rate ν (Algorithm 2, lines 15–21).  The Lagrangian
 penalty λ controls the robustness/accuracy trade-off: small λ ⇒ larger
 uncertainty set ⇒ more robustness (Figure 4).
+
+:class:`RobustFedML` is a facade over :class:`repro.engine.RoundEngine` +
+:class:`repro.engine.AdversarialStrategy` (which owns the DRO local update
+and the generation schedule via the engine's block hook).
 """
 
 from __future__ import annotations
@@ -19,18 +23,19 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..attacks.wasserstein import wasserstein_ascent
-from ..data.dataset import Dataset, FederatedDataset
+from ..data.dataset import FederatedDataset
+from ..engine import AdversarialStrategy, RoundEngine, RunnerStepAdapter
+from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
 from ..federated.sampling import FullParticipation
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
-from ..nn.parameters import Params, add_scaled, detach
-from ..obs.telemetry import Telemetry, resolve
+from ..nn.parameters import Params
+from ..obs.telemetry import Telemetry
 from ..utils.logging import RunLogger
 from .fedml import FedMLConfig
-from .maml import LossFn, inner_adapt, meta_gradient, meta_loss
+from .maml import LossFn
 
 __all__ = ["RobustFedMLConfig", "RobustFedMLResult", "RobustFedML"]
 
@@ -115,6 +120,7 @@ class RobustFedML:
         platform: Optional[Platform] = None,
         participation=None,
         telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -126,90 +132,27 @@ class RobustFedML:
         self.telemetry = telemetry
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
+        self.executor = executor
+        self.strategy = AdversarialStrategy(model, config, loss_fn)
 
     # ------------------------------------------------------------------
-    def _generate_adversarial(self, node: EdgeNode, rng: np.random.Generator) -> None:
+    def _generate_adversarial(
+        self, node: EdgeNode, rng: np.random.Generator
+    ) -> None:
         """Algorithm 2, lines 15–21: grow ``D_i^adv`` by |D_i^test| samples."""
-        assert node.params is not None
-        cfg = self.config
-        combined = node.combined_test_set()
-        count = len(node.split.test)
-        chosen = rng.integers(0, len(combined), size=count)
-        base = combined.subset(chosen)
-
-        # Perturbations are constructed against the *adapted* model phi_i^t
-        # (eq. 12 evaluates the loss at phi_i, not theta_i).
-        phi = inner_adapt(
-            self.model,
-            node.params,
-            node.split.train,
-            cfg.alpha,
-            steps=cfg.inner_steps,
-            loss_fn=self.loss_fn,
-            create_graph=False,
-        )
-        perturbed = wasserstein_ascent(
-            self.model,
-            phi,
-            base.x,
-            base.y,
-            lam=cfg.lam,
-            nu=cfg.nu,
-            steps=cfg.ta,
-            loss_fn=self.loss_fn,
-        )
-        fresh = Dataset(x=perturbed, y=base.y.copy())
-        if node.adversarial is None or len(node.adversarial) == 0:
-            node.adversarial = fresh
-        else:
-            node.adversarial = node.adversarial.concat(fresh)
-
-    def _as_continuous(self, data: Dataset) -> Dataset:
-        """Map integer-token inputs into the (frozen) embedding space.
-
-        Adversarial samples live in the continuous feature space, so for
-        token models all node data is embedded once up-front — clean and
-        adversarial samples then share one representation.
-        """
-        from ..attacks.common import embed_inputs
-
-        features = embed_inputs(self.model, data.x)
-        return Dataset(x=features, y=data.y)
+        self.strategy.generate_adversarial(node, rng)
 
     def local_step(self, node: EdgeNode) -> float:
         """Local robust meta-update (eq. 13 + eq. 14)."""
-        assert node.params is not None
-        extra = []
-        if node.adversarial is not None and len(node.adversarial) > 0:
-            extra.append(node.adversarial)
-        gradient, value = meta_gradient(
-            self.model,
-            node.params,
-            node.split,
-            self.config.alpha,
-            inner_steps=self.config.inner_steps,
-            loss_fn=self.loss_fn,
-            first_order=self.config.first_order,
-            extra_test_sets=extra,
-        )
-        node.params = add_scaled(node.params, gradient, -self.config.beta)
-        node.record_local_step(gradient_evals=2 + len(extra))
-        return value
+        return self.strategy.local_step(node)
 
     def global_meta_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
-        total = 0.0
-        weight_sum = sum(node.weight for node in nodes)
-        for node in nodes:
-            value = meta_loss(
-                self.model,
-                params,
-                node.split,
-                self.config.alpha,
-                inner_steps=self.config.inner_steps,
-                loss_fn=self.loss_fn,
-            )
-            total += node.weight / weight_sum * value
-        return total
+        return self.strategy.global_meta_loss(params, nodes)
+
+    def _engine_strategy(self):
+        if type(self).local_step is not RobustFedML.local_step:
+            return RunnerStepAdapter(self.strategy, self)
+        return self.strategy
 
     # ------------------------------------------------------------------
     def fit(
@@ -219,100 +162,17 @@ class RobustFedML:
         init_params: Optional[Params] = None,
         verbose: bool = False,
     ) -> RobustFedMLResult:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        from ..federated.node import build_nodes
-
-        datasets = [federated.nodes[i] for i in source_ids]
-        nodes = build_nodes(datasets, cfg.k, node_ids=list(source_ids))
-        if datasets and np.asarray(datasets[0].x).dtype.kind in "iu":
-            # Token models: embed all node data once so clean and
-            # adversarial samples share one continuous feature space.
-            from ..data.dataset import NodeSplit
-
-            for node in nodes:
-                node.split = NodeSplit(
-                    train=self._as_continuous(node.split.train),
-                    test=self._as_continuous(node.split.test),
-                )
-
-        params = (
-            detach(init_params) if init_params is not None else self.model.init(rng)
+        engine = RoundEngine(
+            self._engine_strategy(),
+            platform=self.platform,
+            participation=self.participation,
+            telemetry=self.telemetry,
+            executor=self.executor,
         )
-        self.platform.initialize(params, nodes)
-        tel = resolve(self.telemetry)
-        history = RunLogger(
-            name="robust-fedml",
-            verbose=verbose,
-            registry=self.telemetry.registry if self.telemetry else None,
-        )
-        history.log(
-            0,
-            global_meta_loss=self.global_meta_loss(params, nodes),
-            adversarial_samples=0,
-        )
-
-        rounds_total = tel.counter("fl_rounds_total", algorithm="robust-fedml")
-        steps_total = tel.counter("fl_local_steps_total", algorithm="robust-fedml")
-        adv_total = tel.counter(
-            "fl_adversarial_samples_total", algorithm="robust-fedml"
-        )
-        fit_span = tel.span("fit", algorithm="robust-fedml")
-        round_span = tel.span("round")
-        generation_rounds = {node.node_id: 0 for node in nodes}
-        generation_period = cfg.n0 * cfg.t0
-        aggregations = 0
-        for t in range(1, cfg.total_iterations + 1):
-            with tel.span("local_steps"):
-                for node in nodes:
-                    self.local_step(node)
-                steps_total.inc(len(nodes))
-            if t % cfg.t0 == 0:
-                with tel.span("aggregate"):
-                    participating = self.participation.select(nodes, t // cfg.t0)
-                    aggregated = self.platform.aggregate(participating)
-                    for node in nodes:
-                        if node not in participating:
-                            node.params = detach(aggregated)
-                aggregations += 1
-                rounds_total.inc()
-                if aggregations % cfg.eval_every == 0:
-                    with tel.span("evaluate"):
-                        history.log(
-                            t,
-                            global_meta_loss=self.global_meta_loss(
-                                aggregated, nodes
-                            ),
-                            adversarial_samples=float(
-                                sum(
-                                    0
-                                    if n.adversarial is None
-                                    else len(n.adversarial)
-                                    for n in nodes
-                                )
-                            ),
-                        )
-                round_span.end()
-                if t < cfg.total_iterations:
-                    round_span = tel.span("round")
-            if t % generation_period == 0:
-                with tel.span("generate_adversarial"):
-                    for node in nodes:
-                        if generation_rounds[node.node_id] < cfg.r_max:
-                            before = (
-                                0
-                                if node.adversarial is None
-                                else len(node.adversarial)
-                            )
-                            self._generate_adversarial(node, rng)
-                            generation_rounds[node.node_id] += 1
-                            adv_total.inc(len(node.adversarial) - before)
-        round_span.end()
-        fit_span.end()
-
-        final = self.platform.global_params
-        if final is None:
-            final = self.platform.aggregate(nodes)
+        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
         return RobustFedMLResult(
-            params=detach(final), nodes=nodes, platform=self.platform, history=history
+            params=run.params,
+            nodes=run.nodes,
+            platform=run.platform,
+            history=run.history,
         )

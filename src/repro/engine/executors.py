@@ -1,0 +1,153 @@
+"""Client executors: how one block of local steps is scheduled.
+
+Between two aggregations, nodes are independent — node ``i``'s T0 local
+steps never read node ``j``'s state.  That independence is the whole
+parallelism budget of the simulator, and an :class:`Executor` spends it:
+
+``SerialExecutor``
+    Runs every node's block in-process, node by node.  The reference
+    implementation and the default.
+
+``ParallelExecutor``
+    Ships ``(strategy, node)`` to a ``ProcessPoolExecutor`` worker per
+    node, runs the block there, and copies the mutated node state back.
+    Requires the strategy and node to be picklable (true for every
+    built-in strategy; *not* true for :class:`RunnerStepAdapter`, which
+    closes over a live runner).
+
+Determinism contract: both executors bind the strategy's per-node
+generator to ``default_rng([base_seed, block_index, node_id])`` before the
+node's block, so a strategy that draws randomness during ``local_step``
+gets an identical stream regardless of executor or worker count.  Since
+pickling float64 arrays is lossless, serial and parallel runs are
+bit-for-bit identical (asserted in ``tests/engine/test_executors.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..federated.node import EdgeNode
+from ..nn.parameters import Params
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor"]
+
+
+class Executor(Protocol):
+    """Schedules one block (``steps`` local iterations) for every node."""
+
+    def run_block(
+        self,
+        strategy: Any,
+        nodes: Sequence[EdgeNode],
+        steps: int,
+        *,
+        block_index: int,
+        base_seed: int,
+    ) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def _node_seed(base_seed: int, block_index: int, node_id: int) -> List[int]:
+    return [base_seed, block_index, node_id]
+
+
+class SerialExecutor:
+    """In-process, node-by-node execution (the reference schedule)."""
+
+    def run_block(
+        self,
+        strategy: Any,
+        nodes: Sequence[EdgeNode],
+        steps: int,
+        *,
+        block_index: int,
+        base_seed: int,
+    ) -> None:
+        for node in nodes:
+            strategy.bind_node_rng(
+                np.random.default_rng(
+                    _node_seed(base_seed, block_index, node.node_id)
+                )
+            )
+            for _ in range(steps):
+                strategy.local_step(node)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+def _run_node_block(
+    strategy: Any, node: EdgeNode, steps: int, seed: List[int]
+) -> Tuple[Optional[Params], int, int]:
+    """Worker entry point: one node's block, run in a forked process.
+
+    Returns the node state that ``local_step`` is allowed to mutate; the
+    parent copies it back onto its own ``EdgeNode``.  Strategy-side
+    mutations in the worker are discarded — per-fit strategy state must
+    only change in the engine's hooks (``on_aggregate``/``on_block_end``),
+    which always run in the parent.
+    """
+    strategy.bind_node_rng(np.random.default_rng(seed))
+    for _ in range(steps):
+        strategy.local_step(node)
+    return node.params, node.local_steps, node.gradient_evaluations
+
+
+class ParallelExecutor:
+    """One worker process per node block, results applied in node order.
+
+    The pool is created lazily on first use and should be released with
+    :meth:`close` (the engine does this via context management; the class
+    also works as a context manager directly).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def run_block(
+        self,
+        strategy: Any,
+        nodes: Sequence[EdgeNode],
+        steps: int,
+        *,
+        block_index: int,
+        base_seed: int,
+    ) -> None:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _run_node_block,
+                strategy,
+                node,
+                steps,
+                _node_seed(base_seed, block_index, node.node_id),
+            )
+            for node in nodes
+        ]
+        for node, future in zip(nodes, futures):
+            params, local_steps, gradient_evaluations = future.result()
+            node.params = params
+            node.local_steps = local_steps
+            node.gradient_evaluations = gradient_evaluations
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

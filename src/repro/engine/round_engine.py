@@ -1,0 +1,165 @@
+"""The one federated round driver every algorithm runs on.
+
+Algorithm 1 of the paper is a *communication pattern* — T0 local steps,
+weighted aggregate (eq. 5), broadcast — and it is the same pattern for
+FedAvg, FedProx, Reptile, Meta-SGD, ADML and Robust FedML.  The
+:class:`RoundEngine` owns that pattern exactly once: node construction,
+block scheduling through an :class:`~repro.engine.executors.Executor`,
+``t % T0`` aggregation through the :class:`~repro.federated.platform.Platform`,
+participation sampling with non-participant resynchronization, the
+``eval_every`` cadence, history logging, and the telemetry spans/counters
+from the observability layer.  Algorithms contribute only a
+:class:`~repro.engine.strategies.LocalStrategy`.
+
+The loop advances in *blocks* (the run of iterations between two
+aggregations) rather than single iterations: each node's T0 consecutive
+steps commute with other nodes' because nodes are independent between
+aggregations, so block execution is bit-identical to the textbook
+iteration-major loop — and it is the unit an executor can parallelize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import FederatedDataset
+from ..federated.node import EdgeNode
+from ..federated.platform import Platform
+from ..federated.sampling import FullParticipation
+from ..nn.parameters import Params, detach
+from ..obs.telemetry import Telemetry, resolve
+from ..utils.logging import RunLogger
+from .executors import Executor, SerialExecutor
+
+__all__ = ["RoundEngine", "EngineResult"]
+
+
+@dataclass
+class EngineResult:
+    """Everything a run produces: final model, nodes, platform, history."""
+
+    params: Params
+    nodes: List[EdgeNode]
+    platform: Platform
+    history: RunLogger
+
+
+class RoundEngine:
+    """Drives ``strategy`` through the canonical federated round loop."""
+
+    def __init__(
+        self,
+        strategy: Any,
+        platform: Optional[Platform] = None,
+        participation: Any = None,
+        telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        self.strategy = strategy
+        self.platform = platform if platform is not None else Platform()
+        self.participation = (
+            participation if participation is not None else FullParticipation()
+        )
+        self.telemetry = telemetry
+        if telemetry is not None and self.platform.telemetry is None:
+            self.platform.telemetry = telemetry
+        self.executor = executor if executor is not None else SerialExecutor()
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        federated: FederatedDataset,
+        source_ids: Sequence[int],
+        init_params: Optional[Params] = None,
+        verbose: bool = False,
+    ) -> EngineResult:
+        """Run the strategy's algorithm and return the learned model."""
+        strategy = self.strategy
+        cfg = strategy.config
+        name = strategy.name
+        rng = np.random.default_rng(cfg.seed)
+        tel = resolve(self.telemetry)
+
+        nodes = strategy.build_nodes(federated, source_ids)
+        for node in nodes:
+            strategy.init_node_state(node)
+
+        params = strategy.initial_params(rng, init_params)
+        self.platform.initialize(params, nodes)
+        strategy.begin_fit(self.platform.global_params, nodes)
+
+        history = RunLogger(
+            name=name,
+            verbose=verbose,
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
+        if strategy.log_initial:
+            initial = strategy.evaluate(self.platform.global_params, nodes)
+            if strategy.log_uplink:
+                initial["uplink_bytes"] = 0
+            history.log(0, **initial)
+
+        rounds_total = tel.counter("fl_rounds_total", algorithm=name)
+        steps_total = tel.counter("fl_local_steps_total", algorithm=name)
+        fit_span = tel.span("fit", algorithm=name)
+        round_span = tel.span("round")
+        aggregations = 0
+        total = cfg.total_iterations
+        t = 0
+        while t < total:
+            # One block: every node runs up to the next aggregation point
+            # (or to T, when T is not a multiple of T0).
+            boundary = min(total, (t // cfg.t0 + 1) * cfg.t0)
+            steps = boundary - t
+            with tel.span("local_steps"):
+                self.executor.run_block(
+                    strategy,
+                    nodes,
+                    steps,
+                    block_index=t // cfg.t0,
+                    base_seed=cfg.seed,
+                )
+                steps_total.inc(len(nodes) * steps)
+            t = boundary
+            if t % cfg.t0 == 0:
+                with tel.span("aggregate"):
+                    participating = self.participation.select(nodes, t // cfg.t0)
+                    participating_ids = {id(node) for node in participating}
+                    aggregated = self.platform.aggregate(participating)  # reprolint: disable=ENG001
+                    # Nodes outside the participating set resynchronize too —
+                    # the paper broadcasts theta^{t+1} to all of S.
+                    for node in nodes:
+                        if id(node) not in participating_ids:
+                            node.params = detach(aggregated)
+                strategy.on_aggregate(aggregated, nodes)
+                aggregations += 1
+                rounds_total.inc()
+                if aggregations % cfg.eval_every == 0:
+                    with tel.span("evaluate"):
+                        metrics: Dict[str, float] = strategy.evaluate(
+                            aggregated, nodes
+                        )
+                        if strategy.log_uplink:
+                            metrics["uplink_bytes"] = (
+                                self.platform.comm_log.uplink_bytes
+                            )
+                        history.log(t, **metrics)
+                round_span.end()
+                if t < total:
+                    round_span = tel.span("round")
+            strategy.on_block_end(t, nodes, rng, tel)
+        round_span.end()
+        fit_span.end()
+
+        final = self.platform.global_params
+        if final is None:  # T < T0: no aggregation happened; average manually
+            final = self.platform.aggregate(nodes)  # reprolint: disable=ENG001
+        return EngineResult(
+            params=detach(final),
+            nodes=nodes,
+            platform=self.platform,
+            history=history,
+        )

@@ -1,0 +1,693 @@
+"""Pluggable local strategies — the *algorithm* half of the round engine.
+
+A :class:`LocalStrategy` answers three questions the driver
+(:class:`~repro.engine.round_engine.RoundEngine`) does not want to know
+about: how a node's state is prepared (``build_nodes`` /
+``init_node_state``), what one local iteration does (``local_step``), and
+how the global objective is measured (``evaluate``).  Everything else —
+``t % T0`` aggregation, participation sampling, resynchronization,
+telemetry, history — is the engine's job and identical for every algorithm.
+
+Strategies are deliberately *plain data + functions*: they hold the model,
+a frozen config, and the loss function, and they are picklable so the
+:class:`~repro.engine.executors.ParallelExecutor` can ship them to worker
+processes.  Mutable per-fit state (the FedProx anchor, Robust FedML's
+generation counters) is rebuilt by ``begin_fit`` each run; transient caches
+are dropped on pickling.
+
+The concrete strategies map onto the paper and its baselines:
+
+=====================  ==============================================
+Strategy               Algorithm
+=====================  ==============================================
+``SgdStrategy``        FedAvg (McMahan et al., 2016)
+``ProxStrategy``       FedProx (Sahu et al., 2018)
+``MetaStrategy``       FedML / Algorithm 1 (exact or first-order MAML)
+``MetaSgdStrategy``    Federated Meta-SGD (Li et al., 2017)
+``ReptileStrategy``    Federated Reptile (Nichol et al., 2018)
+``AdmlStrategy``       ADML-style adversarial meta-learning
+``AdversarialStrategy``  Robust FedML / Algorithm 2 (Wasserstein DRO)
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..attacks.fgsm import fgsm
+from ..autodiff import Tensor, grad, ops
+from ..attacks.wasserstein import wasserstein_ascent
+from ..data.dataset import Dataset, FederatedDataset, NodeSplit
+from ..federated.node import EdgeNode, build_nodes
+from ..nn.losses import cross_entropy
+from ..nn.modules import Model
+from ..nn.parameters import Params, add_scaled, detach, require_grad
+from ..core.maml import LossFn, inner_adapt, meta_gradient, meta_loss
+from .evaluation import loss_gradient, node_training_data, weighted_node_average
+
+__all__ = [
+    "LocalStrategy",
+    "RunnerStepAdapter",
+    "SgdStrategy",
+    "ProxStrategy",
+    "MetaStrategy",
+    "MetaSgdStrategy",
+    "ReptileStrategy",
+    "AdmlStrategy",
+    "AdversarialStrategy",
+    "merge_meta_sgd_trees",
+    "split_meta_sgd_trees",
+]
+
+
+class LocalStrategy:
+    """Protocol + shared plumbing for one algorithm's local behaviour.
+
+    Subclasses must implement :meth:`local_step` and :meth:`evaluate`; the
+    remaining hooks have sensible defaults.  ``config`` must expose ``t0``,
+    ``total_iterations``, ``eval_every`` and ``seed`` — the knobs the engine
+    drives the round loop with.
+    """
+
+    #: algorithm label used for the run logger and telemetry dimensions
+    name: str = "strategy"
+    #: log an iteration-0 history record before training starts
+    log_initial: bool = True
+    #: include platform uplink bytes in the history records
+    log_uplink: bool = False
+
+    def __init__(
+        self, model: Model, config: Any, loss_fn: LossFn = cross_entropy
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.loss_fn = loss_fn
+        #: deterministic per-node generator bound by the executor before
+        #: each node's block of local steps (see ``Executor.run_block``)
+        self._node_rng: Optional[np.random.Generator] = None
+
+    # -- node construction ---------------------------------------------
+    def build_nodes(
+        self, federated: FederatedDataset, source_ids: Sequence[int]
+    ) -> List[EdgeNode]:
+        """K-shot node construction (the meta-learning default)."""
+        datasets = [federated.nodes[i] for i in source_ids]
+        return build_nodes(datasets, self.config.k, node_ids=list(source_ids))
+
+    def init_node_state(self, node: EdgeNode) -> None:
+        """Per-node setup before θ⁰ is broadcast (default: nothing)."""
+
+    def initial_params(
+        self, rng: np.random.Generator, init_params: Optional[Params]
+    ) -> Params:
+        """The tree installed as θ⁰ (drawing from ``rng`` when not given)."""
+        if init_params is not None:
+            return detach(init_params)
+        return self.model.init(rng)
+
+    def begin_fit(self, params: Params, nodes: Sequence[EdgeNode]) -> None:
+        """Reset per-fit strategy state after the initial broadcast."""
+
+    # -- the local update ----------------------------------------------
+    def local_step(self, node: EdgeNode) -> float:
+        """One local iteration on ``node``; returns the local loss value."""
+        raise NotImplementedError
+
+    def evaluate(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> Dict[str, float]:
+        """Global objective metrics logged on the evaluation cadence."""
+        raise NotImplementedError
+
+    # -- engine hooks ---------------------------------------------------
+    def on_aggregate(
+        self, aggregated: Params, nodes: Sequence[EdgeNode]
+    ) -> None:
+        """Called after every global aggregation (default: nothing)."""
+
+    def on_block_end(
+        self,
+        t: int,
+        nodes: Sequence[EdgeNode],
+        rng: np.random.Generator,
+        telemetry: Any,
+    ) -> None:
+        """Called at every block boundary ``t`` (multiples of T0 and T)."""
+
+    def bind_node_rng(self, rng: np.random.Generator) -> None:
+        """Install the executor's deterministic per-node generator."""
+        self._node_rng = rng
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_node_rng"] = None  # rebound by the executor in the worker
+        for key in getattr(self, "_transient", ()):
+            state.pop(key, None)
+        return state
+
+
+class RunnerStepAdapter:
+    """Routes ``local_step`` through a runner that overrides it.
+
+    Benchmarks subclass the facade runners (e.g. ``FedML``) and override
+    ``local_step`` to inject faults or noise.  The facades detect the
+    override and hand the engine this adapter so the subclass behaviour
+    still applies.  The adapter holds the runner (telemetry, platform and
+    all), so it is not picklable — overridden steps run serially.
+    """
+
+    def __init__(self, strategy: LocalStrategy, runner: Any) -> None:
+        self._strategy = strategy
+        self._runner = runner
+
+    def local_step(self, node: EdgeNode) -> float:
+        return self._runner.local_step(node)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._strategy, name)
+
+
+# ----------------------------------------------------------------------
+# Consensus baselines: FedAvg and FedProx
+# ----------------------------------------------------------------------
+def _consensus_nodes(
+    federated: FederatedDataset, source_ids: Sequence[int]
+) -> List[EdgeNode]:
+    """Node construction shared by FedAvg/FedProx.
+
+    Consensus algorithms ignore the K-split for training (they use all
+    local data) but keep the same node/weight construction as the
+    meta-learners for comparability.
+    """
+    datasets = [federated.nodes[i] for i in source_ids]
+    min_size = min(len(d) for d in datasets)
+    return build_nodes(
+        datasets, max(1, min(2, min_size - 1)), node_ids=list(source_ids)
+    )
+
+
+class SgdStrategy(LocalStrategy):
+    """FedAvg: plain SGD on the node's entire local dataset."""
+
+    name = "fedavg"
+    log_uplink = True
+    _transient = ("_data_cache",)
+
+    def build_nodes(
+        self, federated: FederatedDataset, source_ids: Sequence[int]
+    ) -> List[EdgeNode]:
+        return _consensus_nodes(federated, source_ids)
+
+    def _full_data(self, node: EdgeNode) -> Dataset:
+        cache: Dict[int, Dataset] = self.__dict__.setdefault("_data_cache", {})
+        data = cache.get(node.node_id)
+        if data is None:
+            data = node_training_data(node)
+            cache[node.node_id] = data
+        return data
+
+    def local_step(self, node: EdgeNode) -> float:
+        assert node.params is not None
+        cfg = self.config
+        gradient = loss_gradient(
+            self.model, node.params, self._full_data(node), self.loss_fn
+        )
+        node.params = add_scaled(node.params, gradient, -cfg.learning_rate)
+        node.record_local_step(gradient_evals=1)
+        return 0.0
+
+    def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
+        """Weighted empirical loss ``L_w(theta)`` (eq. 2)."""
+
+        def value(node: EdgeNode) -> float:
+            data = self._full_data(node)
+            return self.loss_fn(self.model.apply(params, data.x), data.y).item()
+
+        return weighted_node_average(nodes, value)
+
+    def evaluate(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> Dict[str, float]:
+        return {"global_loss": self.global_loss(params, nodes)}
+
+
+class ProxStrategy(SgdStrategy):
+    """FedProx: SGD on a proximally-regularized local loss.
+
+    Each node minimizes ``L_i(θ) + (μ/2)‖θ − θ_anchor‖²`` where the anchor
+    is the last aggregated global model — updated via :meth:`on_aggregate`.
+    """
+
+    name = "fedprox"
+    log_uplink = False
+
+    def begin_fit(self, params: Params, nodes: Sequence[EdgeNode]) -> None:
+        self._anchor = detach(params)
+
+    def on_aggregate(
+        self, aggregated: Params, nodes: Sequence[EdgeNode]
+    ) -> None:
+        self._anchor = detach(aggregated)
+
+    def local_step(self, node: EdgeNode) -> float:
+        assert node.params is not None
+        cfg = self.config
+        anchor = self._anchor
+        gradient = loss_gradient(
+            self.model, node.params, self._full_data(node), self.loss_fn
+        )
+        node.params = {
+            name: Tensor(
+                node.params[name].data
+                - cfg.learning_rate
+                * (
+                    gradient[name].data
+                    + cfg.mu_prox * (node.params[name].data - anchor[name].data)
+                )
+            )
+            for name in node.params
+        }
+        node.record_local_step(gradient_evals=1)
+        return 0.0
+
+
+# ----------------------------------------------------------------------
+# Meta-learning strategies
+# ----------------------------------------------------------------------
+class MetaStrategy(LocalStrategy):
+    """FedML / Algorithm 1: one MAML meta-step per local iteration."""
+
+    name = "fedml"
+    log_uplink = True
+
+    def local_step(self, node: EdgeNode) -> float:
+        """One local meta-update (eq. 3 + eq. 4) on ``node``."""
+        assert node.params is not None
+        cfg = self.config
+        gradient, value = meta_gradient(
+            self.model,
+            node.params,
+            node.split,
+            cfg.alpha,
+            inner_steps=cfg.inner_steps,
+            loss_fn=self.loss_fn,
+            first_order=cfg.first_order,
+        )
+        node.params = add_scaled(node.params, gradient, -cfg.beta)
+        node.record_local_step()
+        return value
+
+    def global_meta_loss(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> float:
+        """``G(theta) = Σ ω_i G_i(theta)`` over the given nodes."""
+        cfg = self.config
+        return weighted_node_average(
+            nodes,
+            lambda node: meta_loss(
+                self.model,
+                params,
+                node.split,
+                cfg.alpha,
+                inner_steps=getattr(cfg, "inner_steps", 1),
+                loss_fn=self.loss_fn,
+            ),
+        )
+
+    def evaluate(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> Dict[str, float]:
+        return {"global_meta_loss": self.global_meta_loss(params, nodes)}
+
+
+def merge_meta_sgd_trees(params: Params, log_alpha: Params) -> Params:
+    """Pack (θ, log α) into one tree so the platform aggregates both."""
+    merged = {f"theta::{n}": t for n, t in params.items()}
+    merged.update({f"logalpha::{n}": t for n, t in log_alpha.items()})
+    return merged
+
+
+def split_meta_sgd_trees(merged: Params) -> Tuple[Params, Params]:
+    """Inverse of :func:`merge_meta_sgd_trees`."""
+    params = {
+        n[len("theta::"):]: t for n, t in merged.items() if n.startswith("theta::")
+    }
+    log_alpha = {
+        n[len("logalpha::"):]: t
+        for n, t in merged.items()
+        if n.startswith("logalpha::")
+    }
+    return params, log_alpha
+
+
+class MetaSgdStrategy(LocalStrategy):
+    """Meta-SGD: learnable per-parameter inner rates, trained federatedly.
+
+    Node parameter trees hold both θ and the log-rates; aggregation
+    averages both (the platform is agnostic to what the tree contains).
+    """
+
+    name = "meta-sgd"
+
+    def initial_params(
+        self, rng: np.random.Generator, init_params: Optional[Params]
+    ) -> Params:
+        cfg = self.config
+        params = super().initial_params(rng, init_params)
+        log_alpha = {
+            name: Tensor(np.full(t.shape, np.log(cfg.alpha_init)))
+            for name, t in params.items()
+        }
+        return merge_meta_sgd_trees(params, log_alpha)
+
+    def adapt(
+        self, params: Params, log_alpha: Params, split: NodeSplit
+    ) -> Params:
+        """One learned-rate inner step (detached, for evaluation)."""
+        theta = require_grad(params)
+        loss = self.loss_fn(
+            self.model.apply(theta, split.train.x), split.train.y
+        )
+        names = sorted(theta)
+        grads = grad(loss, [theta[n] for n in names], allow_unused=True)
+        phi: Params = {}
+        for name, g in zip(names, grads):
+            rate = np.exp(log_alpha[name].data)
+            if g is None:
+                phi[name] = Tensor(theta[name].data.copy())
+            else:
+                phi[name] = Tensor(theta[name].data - rate * g.data)
+        return phi
+
+    def meta_loss(
+        self, params: Params, log_alpha: Params, split: NodeSplit
+    ) -> float:
+        phi = self.adapt(params, log_alpha, split)
+        return self.loss_fn(
+            self.model.apply(phi, split.test.x), split.test.y
+        ).item()
+
+    def local_step(self, node: EdgeNode) -> float:
+        assert node.params is not None
+        cfg = self.config
+        params, log_alpha = split_meta_sgd_trees(node.params)
+        theta = {
+            n: Tensor(t.data, requires_grad=True) for n, t in params.items()
+        }
+        log_a = {
+            n: Tensor(t.data, requires_grad=True) for n, t in log_alpha.items()
+        }
+
+        inner = self.loss_fn(
+            self.model.apply(theta, node.split.train.x), node.split.train.y
+        )
+        names = sorted(theta)
+        inner_grads = grad(
+            inner, [theta[n] for n in names], create_graph=True, allow_unused=True
+        )
+        phi: Params = {}
+        for name, g in zip(names, inner_grads):
+            if g is None:
+                phi[name] = theta[name]
+            else:
+                phi[name] = theta[name] - ops.exp(log_a[name]) * g
+        outer = self.loss_fn(
+            self.model.apply(phi, node.split.test.x), node.split.test.y
+        )
+
+        leaves = [theta[n] for n in names] + [log_a[n] for n in names]
+        meta_grads = grad(outer, leaves, allow_unused=True)
+        updated: Params = {}
+        for i, name in enumerate(names):
+            g_theta = meta_grads[i]
+            g_alpha = meta_grads[len(names) + i]
+            updated[f"theta::{name}"] = Tensor(
+                theta[name].data
+                - (0.0 if g_theta is None else cfg.beta * g_theta.data)
+            )
+            updated[f"logalpha::{name}"] = Tensor(
+                log_a[name].data
+                - (0.0 if g_alpha is None else cfg.beta * g_alpha.data)
+            )
+        node.params = updated
+        node.record_local_step()
+        return outer.item()
+
+    def global_meta_loss(
+        self, merged: Params, nodes: Sequence[EdgeNode]
+    ) -> float:
+        params, log_alpha = split_meta_sgd_trees(merged)
+        return weighted_node_average(
+            nodes,
+            lambda node: self.meta_loss(params, log_alpha, node.split),
+        )
+
+    def evaluate(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> Dict[str, float]:
+        return {"global_meta_loss": self.global_meta_loss(params, nodes)}
+
+
+class ReptileStrategy(LocalStrategy):
+    """Federated Reptile: move θ toward multi-step SGD solutions."""
+
+    name = "reptile"
+    log_initial = False
+
+    def _sgd_steps(
+        self, params: Params, data: Dataset, steps: int
+    ) -> Params:
+        cfg = self.config
+        current = detach(params)
+        for _ in range(steps):
+            gradient = loss_gradient(self.model, current, data, self.loss_fn)
+            current = {
+                name: Tensor(
+                    current[name].data - cfg.inner_lr * gradient[name].data
+                )
+                for name in current
+            }
+        return current
+
+    def local_step(self, node: EdgeNode) -> float:
+        assert node.params is not None
+        cfg = self.config
+        data = node_training_data(node)
+        phi = self._sgd_steps(node.params, data, cfg.inner_steps)
+        node.params = {
+            name: Tensor(
+                node.params[name].data
+                + cfg.outer_lr * (phi[name].data - node.params[name].data)
+            )
+            for name in node.params
+        }
+        node.record_local_step(gradient_evals=cfg.inner_steps)
+        return 0.0
+
+    def global_meta_loss(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> float:
+        cfg = self.config
+        return weighted_node_average(
+            nodes,
+            lambda node: meta_loss(
+                self.model, params, node.split, cfg.inner_lr,
+                loss_fn=self.loss_fn,
+            ),
+        )
+
+    def evaluate(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> Dict[str, float]:
+        return {"global_meta_loss": self.global_meta_loss(params, nodes)}
+
+
+# ----------------------------------------------------------------------
+# Adversarial strategies
+# ----------------------------------------------------------------------
+class AdmlStrategy(MetaStrategy):
+    """ADML: FGSM-perturbed inner update, clean + perturbed outer loss.
+
+    Perturbations are regenerated against the current model every local
+    step — contrast :class:`AdversarialStrategy`, which amortizes them over
+    a growing DRO dataset.
+    """
+
+    name = "adml"
+    log_uplink = False
+
+    def _perturbed_split(self, node: EdgeNode) -> NodeSplit:
+        """FGSM-corrupt the node's inner training set against its model."""
+        assert node.params is not None
+        cfg = self.config
+        adv_x = fgsm(
+            self.model,
+            node.params,
+            node.split.train.x,
+            node.split.train.y,
+            xi=cfg.epsilon,
+            loss_fn=self.loss_fn,
+        )
+        adv_train = Dataset(x=adv_x, y=node.split.train.y.copy())
+        return NodeSplit(train=adv_train, test=node.split.test)
+
+    def local_step(self, node: EdgeNode) -> float:
+        assert node.params is not None
+        cfg = self.config
+        adversarial_split = self._perturbed_split(node)
+        adv_test_x = fgsm(
+            self.model,
+            node.params,
+            node.split.test.x,
+            node.split.test.y,
+            xi=cfg.epsilon,
+            loss_fn=self.loss_fn,
+        )
+        extra = [Dataset(x=adv_test_x, y=node.split.test.y.copy())]
+        gradient, value = meta_gradient(
+            self.model,
+            node.params,
+            adversarial_split,
+            cfg.alpha,
+            loss_fn=self.loss_fn,
+            first_order=cfg.first_order,
+            extra_test_sets=extra,
+        )
+        node.params = add_scaled(node.params, gradient, -cfg.beta)
+        node.record_local_step(gradient_evals=4)  # 2 attacks + inner + outer
+        return value
+
+
+class AdversarialStrategy(MetaStrategy):
+    """Robust FedML / Algorithm 2: DRO outer loss over a grown ``D^adv``.
+
+    The local step is a MAML meta-step whose outer loss adds the node's
+    adversarial dataset (eq. 14); :meth:`on_block_end` implements the
+    generation schedule (every ``N0·T0`` iterations, at most ``R`` times)
+    by solving the Wasserstein inner supremum with ``Ta`` ascent steps.
+    The attack machinery is shared with :class:`AdmlStrategy` — both
+    perturb in the model's continuous feature space.
+    """
+
+    name = "robust-fedml"
+    log_uplink = False
+
+    def init_node_state(self, node: EdgeNode) -> None:
+        # Token models: embed the node's data once so clean and adversarial
+        # samples share one continuous feature space.
+        if np.asarray(node.split.train.x).dtype.kind in "iu":
+            node.split = NodeSplit(
+                train=self._as_continuous(node.split.train),
+                test=self._as_continuous(node.split.test),
+            )
+
+    def _as_continuous(self, data: Dataset) -> Dataset:
+        """Map integer-token inputs into the (frozen) embedding space."""
+        from ..attacks.common import embed_inputs
+
+        features = embed_inputs(self.model, data.x)
+        return Dataset(x=features, y=data.y)
+
+    def begin_fit(self, params: Params, nodes: Sequence[EdgeNode]) -> None:
+        self._generation_rounds = {node.node_id: 0 for node in nodes}
+
+    def local_step(self, node: EdgeNode) -> float:
+        """Local robust meta-update (eq. 13 + eq. 14)."""
+        assert node.params is not None
+        cfg = self.config
+        extra = []
+        if node.adversarial is not None and len(node.adversarial) > 0:
+            extra.append(node.adversarial)
+        gradient, value = meta_gradient(
+            self.model,
+            node.params,
+            node.split,
+            cfg.alpha,
+            inner_steps=cfg.inner_steps,
+            loss_fn=self.loss_fn,
+            first_order=cfg.first_order,
+            extra_test_sets=extra,
+        )
+        node.params = add_scaled(node.params, gradient, -cfg.beta)
+        node.record_local_step(gradient_evals=2 + len(extra))
+        return value
+
+    def generate_adversarial(
+        self, node: EdgeNode, rng: np.random.Generator
+    ) -> None:
+        """Algorithm 2, lines 15–21: grow ``D_i^adv`` by |D_i^test| samples."""
+        assert node.params is not None
+        cfg = self.config
+        combined = node.combined_test_set()
+        count = len(node.split.test)
+        chosen = rng.integers(0, len(combined), size=count)
+        base = combined.subset(chosen)
+
+        # Perturbations are constructed against the *adapted* model phi_i^t
+        # (eq. 12 evaluates the loss at phi_i, not theta_i).
+        phi = inner_adapt(
+            self.model,
+            node.params,
+            node.split.train,
+            cfg.alpha,
+            steps=cfg.inner_steps,
+            loss_fn=self.loss_fn,
+            create_graph=False,
+        )
+        perturbed = wasserstein_ascent(
+            self.model,
+            phi,
+            base.x,
+            base.y,
+            lam=cfg.lam,
+            nu=cfg.nu,
+            steps=cfg.ta,
+            loss_fn=self.loss_fn,
+        )
+        fresh = Dataset(x=perturbed, y=base.y.copy())
+        if node.adversarial is None or len(node.adversarial) == 0:
+            node.adversarial = fresh
+        else:
+            node.adversarial = node.adversarial.concat(fresh)
+
+    def on_block_end(
+        self,
+        t: int,
+        nodes: Sequence[EdgeNode],
+        rng: np.random.Generator,
+        telemetry: Any,
+    ) -> None:
+        cfg = self.config
+        if t % (cfg.n0 * cfg.t0) != 0:
+            return
+        adv_total = telemetry.counter(
+            "fl_adversarial_samples_total", algorithm=self.name
+        )
+        with telemetry.span("generate_adversarial"):
+            for node in nodes:
+                if self._generation_rounds[node.node_id] < cfg.r_max:
+                    before = (
+                        0 if node.adversarial is None else len(node.adversarial)
+                    )
+                    self.generate_adversarial(node, rng)
+                    self._generation_rounds[node.node_id] += 1
+                    assert node.adversarial is not None
+                    adv_total.inc(len(node.adversarial) - before)
+
+    def _adversarial_count(self, nodes: Sequence[EdgeNode]) -> float:
+        return float(
+            sum(
+                0 if n.adversarial is None else len(n.adversarial)
+                for n in nodes
+            )
+        )
+
+    def evaluate(
+        self, params: Params, nodes: Sequence[EdgeNode]
+    ) -> Dict[str, float]:
+        return {
+            "global_meta_loss": self.global_meta_loss(params, nodes),
+            "adversarial_samples": self._adversarial_count(nodes),
+        }

@@ -200,6 +200,60 @@ class TestTel001TelemetryInLoop:
         assert ids_in(src).count("TEL001") == 1
 
 
+class TestEng001EngineBypass:
+    def test_fires_on_direct_platform_aggregate(self):
+        src = """
+        def fit(self, nodes):
+            return self.platform.aggregate(nodes)
+        """
+        assert "ENG001" in ids_in(src)
+
+    def test_fires_on_bare_platform_name(self):
+        src = """
+        def step(platform, nodes):
+            return platform.aggregate(nodes)
+        """
+        assert "ENG001" in ids_in(src)
+
+    def test_fires_on_hand_rolled_round_loop(self):
+        src = """
+        def fit(self, cfg, nodes):
+            for t in range(1, cfg.total_iterations + 1):
+                train(nodes)
+                if t % cfg.t0 == 0:
+                    sync(nodes)
+        """
+        assert "ENG001" in ids_in(src)
+
+    def test_silent_on_other_aggregators(self):
+        src = """
+        def combine(agg, uploads):
+            return agg.aggregate(uploads, [0.5, 0.5])
+        """
+        assert "ENG001" not in ids_in(src)
+
+    def test_silent_on_unrelated_range_loops(self):
+        src = """
+        def train(cfg, nodes):
+            for t in range(cfg.total_iterations):
+                step(nodes)
+            for i in range(10):
+                if i % 2 == 0:
+                    log(i)
+        """
+        assert "ENG001" not in ids_in(src)
+
+    def test_line_suppression_covers_engine_call_sites(self):
+        src = (
+            "def fit(self, nodes):\n"
+            "    return self.platform.aggregate(nodes)"
+            "  # reprolint: disable=ENG001\n"
+        )
+        report = lint_source(src)
+        assert "ENG001" not in [f.rule_id for f in report.findings]
+        assert report.suppressed == 1
+
+
 class TestGen001MutableDefault:
     def test_fires_on_list_and_dict_literals(self):
         src = """

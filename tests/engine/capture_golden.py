@@ -1,0 +1,105 @@
+"""Capture golden loss traces and final parameters for seed-equivalence tests.
+
+Run this against a known-good revision of the algorithm implementations to
+(re)generate ``golden_traces.json``::
+
+    PYTHONPATH=src python tests/engine/capture_golden.py
+
+The regression tests in ``test_seed_equivalence.py`` then assert the
+refactored facades reproduce these traces.  The configuration below is
+deliberately small (6 nodes, 12 iterations) so the capture and the tests
+both run in seconds.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core import (
+    ADMLConfig,
+    FedAvg,
+    FedAvgConfig,
+    FederatedADML,
+    FederatedMetaSGD,
+    FederatedReptile,
+    FedML,
+    FedMLConfig,
+    MetaSGDConfig,
+    ReptileConfig,
+    RobustFedML,
+    RobustFedMLConfig,
+)
+from repro.core.fedprox import FedProx, FedProxConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.nn import LogisticRegression
+from repro.nn.parameters import to_vector
+
+HERE = pathlib.Path(__file__).resolve().parent
+OUT = HERE / "golden_traces.json"
+
+
+def build_workload():
+    fed = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=6, mean_samples=20, seed=1)
+    )
+    sources = list(range(5))
+    model = LogisticRegression(60, 10)
+    return fed, sources, model
+
+
+def build_runners(model):
+    common = dict(t0=3, total_iterations=12, seed=0)
+    return {
+        "fedml": FedML(
+            model, FedMLConfig(alpha=0.05, beta=0.05, k=3, **common)
+        ),
+        "fedavg": FedAvg(model, FedAvgConfig(learning_rate=0.05, **common)),
+        "fedprox": FedProx(
+            model, FedProxConfig(learning_rate=0.05, mu_prox=0.1, **common)
+        ),
+        "reptile": FederatedReptile(
+            model,
+            ReptileConfig(
+                inner_lr=0.05, outer_lr=0.5, inner_steps=2, k=3, **common
+            ),
+        ),
+        "meta-sgd": FederatedMetaSGD(
+            model, MetaSGDConfig(alpha_init=0.05, beta=0.05, k=3, **common)
+        ),
+        "adml": FederatedADML(
+            model,
+            ADMLConfig(alpha=0.05, beta=0.05, k=3, epsilon=0.05, **common),
+        ),
+        "robust-fedml": RobustFedML(
+            model,
+            RobustFedMLConfig(
+                alpha=0.05, beta=0.05, k=3, lam=1.0, nu=0.5, ta=2, n0=2,
+                r_max=1, **common
+            ),
+        ),
+    }
+
+
+def capture():
+    fed, sources, model = build_workload()
+    golden = {}
+    for name, runner in build_runners(model).items():
+        result = runner.fit(fed, sources)
+        records = result.history.records
+        golden[name] = {
+            "records": records,
+            "final_params": to_vector(result.params).tolist(),
+            "uplink_bytes": result.platform.comm_log.uplink_bytes,
+            "local_steps": [n.local_steps for n in result.nodes],
+            "gradient_evaluations": [
+                n.gradient_evaluations for n in result.nodes
+            ],
+        }
+        print(f"{name}: {len(records)} history records captured")
+    OUT.write_text(json.dumps(golden, indent=1))
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    capture()

@@ -1,0 +1,137 @@
+"""Serial/parallel executor equivalence and determinism.
+
+The contract under test (see ``docs/ENGINE.md``): for picklable
+strategies, :class:`ParallelExecutor` is *bit-for-bit* identical to
+:class:`SerialExecutor` on the same seeds — pickling float64 arrays is
+lossless and both executors bind the same per-node generator
+``default_rng([base_seed, block_index, node_id])``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FedAvg, FedAvgConfig, FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.engine import (
+    LocalStrategy,
+    ParallelExecutor,
+    RoundEngine,
+    SerialExecutor,
+)
+from repro.nn import LogisticRegression
+from repro.nn.parameters import add_scaled, to_vector, zeros_like_params
+
+
+@pytest.fixture(scope="module")
+def workload():
+    fed = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=6, mean_samples=20, seed=1)
+    )
+    return fed, list(range(6)), LogisticRegression(60, 10)
+
+
+class NoisyConfig:
+    """Minimal engine config (picklable, module-level for the fork path)."""
+
+    t0 = 2
+    total_iterations = 4
+    eval_every = 1
+    seed = 7
+    k = 3
+
+
+class NoisyStrategy(LocalStrategy):
+    """Draws from the bound per-node generator every step.
+
+    Exercises the deterministic seeding contract: the same noise stream
+    must be observed per (block, node) regardless of executor.
+    """
+
+    name = "noisy"
+
+    def local_step(self, node):
+        assert self._node_rng is not None
+        noise = zeros_like_params(node.params)
+        for tensor in noise.values():
+            tensor.data[...] = self._node_rng.standard_normal(tensor.shape)
+        node.params = add_scaled(node.params, noise, 0.01)
+        node.record_local_step(gradient_evals=0)
+        return 0.0
+
+    def evaluate(self, params, nodes):
+        return {"param_norm": float(np.linalg.norm(to_vector(params)))}
+
+
+class TestParallelMatchesSerial:
+    def _fit(self, workload, runner_cls, config, executor):
+        fed, sources, model = workload
+        return runner_cls(model, config, executor=executor).fit(fed, sources)
+
+    @pytest.mark.parametrize(
+        "runner_cls,config",
+        [
+            (
+                FedML,
+                FedMLConfig(
+                    alpha=0.05, beta=0.05, t0=3, total_iterations=6, k=3, seed=0
+                ),
+            ),
+            (
+                FedAvg,
+                FedAvgConfig(
+                    learning_rate=0.05, t0=3, total_iterations=6, seed=0
+                ),
+            ),
+        ],
+    )
+    def test_bit_for_bit(self, workload, runner_cls, config):
+        serial = self._fit(workload, runner_cls, config, SerialExecutor())
+        with ParallelExecutor(max_workers=2) as executor:
+            parallel = self._fit(workload, runner_cls, config, executor)
+        np.testing.assert_array_equal(
+            to_vector(serial.params), to_vector(parallel.params)
+        )
+        assert serial.history.records == parallel.history.records
+        assert [n.local_steps for n in serial.nodes] == [
+            n.local_steps for n in parallel.nodes
+        ]
+        assert [n.gradient_evaluations for n in serial.nodes] == [
+            n.gradient_evaluations for n in parallel.nodes
+        ]
+
+    def test_stochastic_strategy_same_stream(self, workload):
+        """A strategy drawing per-node randomness sees the same stream."""
+        fed, sources, model = workload
+
+        def run(executor):
+            strategy = NoisyStrategy(model, NoisyConfig())
+            return RoundEngine(strategy, executor=executor).fit(fed, sources)
+
+        serial = run(SerialExecutor())
+        with ParallelExecutor(max_workers=3) as executor:
+            parallel = run(executor)
+        np.testing.assert_array_equal(
+            to_vector(serial.params), to_vector(parallel.params)
+        )
+        assert serial.history.records == parallel.history.records
+
+
+class TestParallelExecutorLifecycle:
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(max_workers=2)
+        executor.close()  # never started: nothing to shut down
+        executor.close()
+
+    def test_pool_restarts_after_close(self, workload):
+        fed, sources, model = workload
+        config = FedMLConfig(
+            alpha=0.05, beta=0.05, t0=2, total_iterations=2, k=3, seed=0
+        )
+        executor = ParallelExecutor(max_workers=2)
+        first = FedML(model, config, executor=executor).fit(fed, sources)
+        executor.close()
+        second = FedML(model, config, executor=executor).fit(fed, sources)
+        executor.close()
+        np.testing.assert_array_equal(
+            to_vector(first.params), to_vector(second.params)
+        )

@@ -1,0 +1,171 @@
+"""Round-engine behaviour that is now uniform across all algorithms.
+
+Before the engine refactor only FedML/FedAvg/RobustFedML had telemetry
+spans, participation sampling, and non-participant resync; FedProx,
+Reptile, Meta-SGD and ADML aggregated over all nodes with no
+observability.  These tests pin the uniformity down for every facade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ADMLConfig,
+    FedAvg,
+    FedAvgConfig,
+    FederatedADML,
+    FederatedMetaSGD,
+    FederatedReptile,
+    FedML,
+    FedMLConfig,
+    MetaSGDConfig,
+    ReptileConfig,
+    RobustFedML,
+    RobustFedMLConfig,
+)
+from repro.core.fedprox import FedProx, FedProxConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.nn import LogisticRegression
+from repro.nn.parameters import to_vector
+from repro.obs import MemorySink, Telemetry
+
+COMMON = dict(t0=2, total_iterations=4, seed=0)
+
+
+def all_runners(model):
+    """One cheaply-configured runner per algorithm facade."""
+    return {
+        "fedml": FedML(
+            model, FedMLConfig(alpha=0.05, beta=0.05, k=2, **COMMON)
+        ),
+        "fedavg": FedAvg(model, FedAvgConfig(learning_rate=0.05, **COMMON)),
+        "fedprox": FedProx(
+            model, FedProxConfig(learning_rate=0.05, mu_prox=0.1, **COMMON)
+        ),
+        "reptile": FederatedReptile(
+            model,
+            ReptileConfig(inner_lr=0.05, outer_lr=0.5, inner_steps=1, k=2, **COMMON),
+        ),
+        "meta-sgd": FederatedMetaSGD(
+            model, MetaSGDConfig(alpha_init=0.05, beta=0.05, k=2, **COMMON)
+        ),
+        "adml": FederatedADML(
+            model, ADMLConfig(alpha=0.05, beta=0.05, k=2, epsilon=0.05, **COMMON)
+        ),
+        "robust-fedml": RobustFedML(
+            model,
+            RobustFedMLConfig(
+                alpha=0.05, beta=0.05, k=2, lam=1.0, nu=0.5, ta=1, n0=1,
+                r_max=1, **COMMON
+            ),
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def workload():
+    fed = generate_synthetic(
+        SyntheticConfig(alpha=0.5, beta=0.5, num_nodes=4, mean_samples=12, seed=1)
+    )
+    return fed, list(range(4))
+
+
+ALGORITHMS = [
+    "fedml", "fedavg", "fedprox", "reptile", "meta-sgd", "adml", "robust-fedml",
+]
+
+
+class TestUniformTelemetry:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_every_algorithm_emits_spans_and_counters(self, workload, name):
+        fed, sources = workload
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        model = LogisticRegression(60, 10)
+        runner = all_runners(model)[name]
+        runner.telemetry = telemetry
+        runner.platform.telemetry = telemetry
+        runner.fit(fed, sources)
+
+        # 4 iterations / t0=2 -> 2 aggregations
+        assert telemetry.registry.get("fl_rounds_total", algorithm=name).value == 2
+        assert (
+            telemetry.registry.get("fl_local_steps_total", algorithm=name).value
+            == 4 * len(sources)
+        )
+        span_names = {r["name"] for r in sink.of_type("span")}
+        assert {"fit", "round", "local_steps", "aggregate"} <= span_names
+        round_spans = [r for r in sink.of_type("span") if r["name"] == "round"]
+        assert len(round_spans) == 2
+        assert all(r["path"] == "fit/round" for r in round_spans)
+
+
+class LastNodeOnly:
+    """Degenerate participation policy: only the last node uploads."""
+
+    def select(self, nodes, round_index):
+        return [nodes[-1]]
+
+
+class TestUniformParticipation:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_non_participants_resync_to_broadcast(self, workload, name):
+        fed, sources = workload
+        model = LogisticRegression(60, 10)
+        runner = all_runners(model)[name]
+        runner.participation = LastNodeOnly()
+        result = runner.fit(fed, sources)
+        # After the final aggregation every node — participant or not —
+        # holds the broadcast global model.
+        if name == "meta-sgd":
+            from repro.engine import merge_meta_sgd_trees
+
+            final = to_vector(merge_meta_sgd_trees(result.params, result.log_alpha))
+        else:
+            final = to_vector(result.params)
+        for node in result.nodes:
+            np.testing.assert_array_equal(to_vector(node.params), final)
+
+    def test_sampling_changes_trajectory(self, workload):
+        fed, sources = workload
+        model = LogisticRegression(60, 10)
+        full = all_runners(model)["fedprox"].fit(fed, sources)
+        sampled_runner = all_runners(model)["fedprox"]
+        sampled_runner.participation = LastNodeOnly()
+        sampled = sampled_runner.fit(fed, sources)
+        assert not np.array_equal(
+            to_vector(full.params), to_vector(sampled.params)
+        )
+
+
+class TestRoundCadence:
+    def test_eval_every_skips_rounds(self, workload):
+        fed, sources = workload
+        model = LogisticRegression(60, 10)
+        runner = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, k=2, t0=2, total_iterations=8,
+                eval_every=2, seed=0,
+            ),
+        )
+        result = runner.fit(fed, sources)
+        # initial record + aggregations 2 and 4 (of 4)
+        assert result.history.steps() == [0, 4, 8]
+
+    def test_partial_final_block_runs_local_steps_without_aggregation(
+        self, workload
+    ):
+        fed, sources = workload
+        model = LogisticRegression(60, 10)
+        runner = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, k=2, t0=4, total_iterations=3, seed=0
+            ),
+        )
+        result = runner.fit(fed, sources)
+        assert all(node.local_steps == 3 for node in result.nodes)
+        assert result.platform.comm_log.uplink_bytes == 0
+        # the global model is still the initial broadcast (never aggregated)
+        assert len(result.history.records) == 1
