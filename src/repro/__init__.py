@@ -21,9 +21,23 @@ Subpackages
     Assumption-constant estimation and Theorems 1-4 as callable bounds.
 ``repro.metrics``
     Few-shot and robustness evaluation protocols, table formatting.
+``repro.faults``
+    Deterministic fault injection (crash/drop/corrupt/delay/flaky/kill
+    plans) and the resilience policy the round engine degrades with.
 """
 
-from . import attacks, autodiff, core, data, federated, metrics, nn, theory, utils
+from . import (
+    attacks,
+    autodiff,
+    core,
+    data,
+    faults,
+    federated,
+    metrics,
+    nn,
+    theory,
+    utils,
+)
 
 __version__ = "1.0.0"
 
@@ -32,6 +46,7 @@ __all__ = [
     "autodiff",
     "core",
     "data",
+    "faults",
     "federated",
     "metrics",
     "nn",

@@ -54,7 +54,8 @@ from .core import (
     evaluate_adaptation,
 )
 from .core.fedprox import FedProx, FedProxConfig
-from .engine import Executor, ParallelExecutor
+from .engine import EngineOptions, Executor, ParallelExecutor
+from .faults import FaultPlan, ResiliencePolicy, RunInterrupted
 from .data import (
     FederatedDataset,
     MnistLikeConfig,
@@ -138,6 +139,33 @@ def _build_executor(args: argparse.Namespace) -> Optional[Executor]:
     return None
 
 
+def _build_engine_options(
+    args: argparse.Namespace,
+) -> Optional[EngineOptions]:
+    """Map ``--faults``/``--checkpoint``/``--resume`` to engine options."""
+    faults_spec = getattr(args, "faults", None)
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", False)
+    if faults_spec is None and checkpoint is None and not resume:
+        return None
+    plan = None
+    resilience = None
+    if faults_spec is not None:
+        plan = FaultPlan.from_spec(
+            faults_spec, seed=getattr(args, "faults_seed", 0)
+        )
+        resilience = ResiliencePolicy(
+            round_timeout_s=getattr(args, "round_timeout", None),
+            min_participants=getattr(args, "min_participants", 1),
+        )
+    return EngineOptions(
+        faults=plan,
+        resilience=resilience,
+        checkpoint_path=checkpoint,
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+    )
+
+
 def _build_trainer(
     args: argparse.Namespace,
     model: Model,
@@ -145,8 +173,12 @@ def _build_trainer(
     executor: Optional[Executor] = None,
 ):
     # Every algorithm routes through the round engine, so they all accept
-    # the same telemetry/executor plumbing.
-    common = dict(telemetry=telemetry, executor=executor)
+    # the same telemetry/executor/fault plumbing.
+    common = dict(
+        telemetry=telemetry,
+        executor=executor,
+        engine_options=_build_engine_options(args),
+    )
     if args.algorithm == "fedml":
         return FedML(
             model,
@@ -260,13 +292,26 @@ def _cmd_train(args: argparse.Namespace) -> int:
             from .autodiff.profile import profile_ops
 
             with profile_ops() as tape_profile:
-                result = trainer.fit(federated, sources)
+                result = trainer.fit(federated, sources, resume=args.resume)
             if telemetry is not None:
                 tape_profile.to_registry(telemetry.registry)
             if not args.json:
                 print(tape_profile.summary(top=10))
         else:
-            result = trainer.fit(federated, sources)
+            result = trainer.fit(federated, sources, resume=args.resume)
+    except RunInterrupted as interrupted:
+        # A plan-scheduled kill: report where the run died and how to pick
+        # it back up, with a distinct exit code so harnesses can detect it.
+        if telemetry is not None:
+            telemetry.close()
+        print(f"run interrupted: {interrupted}", file=sys.stderr)
+        if interrupted.checkpoint_path:
+            print(
+                "resume with: --resume --checkpoint "
+                f"{interrupted.checkpoint_path}",
+                file=sys.stderr,
+            )
+        return 3
     finally:
         if executor is not None:
             executor.close()
@@ -468,6 +513,40 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="process count for --executor parallel (default: os.cpu_count())",
+    )
+    # Faults & resilience.
+    train.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject a deterministic fault plan, e.g. "
+        "'crash:rate=0.2;corrupt:rate=0.1,mode=nan;kill:block=3' "
+        "(kinds: crash, drop, corrupt, delay, flaky, kill)",
+    )
+    train.add_argument(
+        "--faults-seed", type=int, default=0,
+        help="seed of the fault plan (same seed + spec = same faults)",
+    )
+    train.add_argument(
+        "--round-timeout", type=float, default=None, metavar="SECONDS",
+        help="simulated per-round deadline; slower updates are dropped as "
+        "stragglers (requires --faults)",
+    )
+    train.add_argument(
+        "--min-participants", type=int, default=1, metavar="N",
+        help="never aggregate fewer than N updates (requires --faults)",
+    )
+    # Checkpoint / resume.
+    train.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a checkpoint at aggregation boundaries to PATH",
+    )
+    train.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N aggregations (default: every one)",
+    )
+    train.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting fresh "
+        "(bit-identical to an uninterrupted run)",
     )
     # Observability.
     train.add_argument(

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..data.dataset import FederatedDataset
-from ..engine import AdmlStrategy, RoundEngine, RunnerStepAdapter
+from ..engine import AdmlStrategy, EngineOptions, RoundEngine, RunnerStepAdapter
 from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
@@ -90,6 +90,7 @@ class FederatedADML:
         participation=None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        engine_options: Optional[EngineOptions] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -102,6 +103,7 @@ class FederatedADML:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor
+        self.engine_options = engine_options
         self.strategy = AdmlStrategy(model, config, loss_fn)
 
     def global_meta_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
@@ -122,6 +124,7 @@ class FederatedADML:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> ADMLResult:
         engine = RoundEngine(
             self._engine_strategy(),
@@ -129,8 +132,12 @@ class FederatedADML:
             participation=self.participation,
             telemetry=self.telemetry,
             executor=self.executor,
+            options=self.engine_options,
         )
-        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        run = engine.fit(
+            federated, source_ids, init_params,
+            verbose=verbose, resume=resume,
+        )
         return ADMLResult(
             params=run.params,
             nodes=run.nodes,

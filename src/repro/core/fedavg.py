@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..data.dataset import FederatedDataset
-from ..engine import RoundEngine, RunnerStepAdapter, SgdStrategy
+from ..engine import EngineOptions, RoundEngine, RunnerStepAdapter, SgdStrategy
 from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
@@ -73,6 +73,7 @@ class FedAvg:
         participation=None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        engine_options: Optional[EngineOptions] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -85,6 +86,7 @@ class FedAvg:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor
+        self.engine_options = engine_options
         self.strategy = SgdStrategy(model, config, loss_fn)
 
     def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
@@ -106,6 +108,7 @@ class FedAvg:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> FedAvgResult:
         engine = RoundEngine(
             self._engine_strategy(),
@@ -113,8 +116,12 @@ class FedAvg:
             participation=self.participation,
             telemetry=self.telemetry,
             executor=self.executor,
+            options=self.engine_options,
         )
-        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        run = engine.fit(
+            federated, source_ids, init_params,
+            verbose=verbose, resume=resume,
+        )
         return FedAvgResult(
             params=run.params,
             nodes=run.nodes,

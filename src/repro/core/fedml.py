@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..data.dataset import FederatedDataset
-from ..engine import MetaStrategy, RoundEngine, RunnerStepAdapter
+from ..engine import EngineOptions, MetaStrategy, RoundEngine, RunnerStepAdapter
 from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
@@ -116,6 +116,7 @@ class FedML:
         participation=None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        engine_options: Optional[EngineOptions] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -128,6 +129,7 @@ class FedML:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor
+        self.engine_options = engine_options
         self.strategy = MetaStrategy(model, config, loss_fn)
 
     # ------------------------------------------------------------------
@@ -158,6 +160,7 @@ class FedML:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> FedMLResult:
         """Run Algorithm 1 and return the learned initialization."""
         engine = RoundEngine(
@@ -166,8 +169,12 @@ class FedML:
             participation=self.participation,
             telemetry=self.telemetry,
             executor=self.executor,
+            options=self.engine_options,
         )
-        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        run = engine.fit(
+            federated, source_ids, init_params,
+            verbose=verbose, resume=resume,
+        )
         return FedMLResult(
             params=run.params,
             nodes=run.nodes,

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..data.dataset import FederatedDataset
-from ..engine import ProxStrategy, RoundEngine, RunnerStepAdapter
+from ..engine import EngineOptions, ProxStrategy, RoundEngine, RunnerStepAdapter
 from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
@@ -81,6 +81,7 @@ class FedProx:
         participation=None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        engine_options: Optional[EngineOptions] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -93,6 +94,7 @@ class FedProx:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor
+        self.engine_options = engine_options
         self.strategy = ProxStrategy(model, config, loss_fn)
 
     def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
@@ -113,6 +115,7 @@ class FedProx:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> FedProxResult:
         engine = RoundEngine(
             self._engine_strategy(),
@@ -120,8 +123,12 @@ class FedProx:
             participation=self.participation,
             telemetry=self.telemetry,
             executor=self.executor,
+            options=self.engine_options,
         )
-        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        run = engine.fit(
+            federated, source_ids, init_params,
+            verbose=verbose, resume=resume,
+        )
         return FedProxResult(
             params=run.params,
             nodes=run.nodes,

@@ -29,6 +29,7 @@ import numpy as np
 from ..autodiff import Tensor
 from ..data.dataset import FederatedDataset, NodeSplit
 from ..engine import (
+    EngineOptions,
     MetaSgdStrategy,
     RoundEngine,
     RunnerStepAdapter,
@@ -107,6 +108,7 @@ class FederatedMetaSGD:
         participation=None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        engine_options: Optional[EngineOptions] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -119,6 +121,7 @@ class FederatedMetaSGD:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor
+        self.engine_options = engine_options
         self.strategy = MetaSgdStrategy(model, config, loss_fn)
 
     # ------------------------------------------------------------------
@@ -152,6 +155,7 @@ class FederatedMetaSGD:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> MetaSGDResult:
         engine = RoundEngine(
             self._engine_strategy(),
@@ -159,8 +163,12 @@ class FederatedMetaSGD:
             participation=self.participation,
             telemetry=self.telemetry,
             executor=self.executor,
+            options=self.engine_options,
         )
-        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        run = engine.fit(
+            federated, source_ids, init_params,
+            verbose=verbose, resume=resume,
+        )
         final_params, final_log_alpha = split_meta_sgd_trees(run.params)
         return MetaSGDResult(
             params=final_params,

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..data.dataset import FederatedDataset
-from ..engine import ReptileStrategy, RoundEngine, RunnerStepAdapter
+from ..engine import EngineOptions, ReptileStrategy, RoundEngine, RunnerStepAdapter
 from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
@@ -71,6 +71,7 @@ class FederatedReptile:
         participation=None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        engine_options: Optional[EngineOptions] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -83,6 +84,7 @@ class FederatedReptile:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor
+        self.engine_options = engine_options
         self.strategy = ReptileStrategy(model, config, loss_fn)
 
     def global_meta_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
@@ -103,6 +105,7 @@ class FederatedReptile:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> ReptileResult:
         engine = RoundEngine(
             self._engine_strategy(),
@@ -110,8 +113,12 @@ class FederatedReptile:
             participation=self.participation,
             telemetry=self.telemetry,
             executor=self.executor,
+            options=self.engine_options,
         )
-        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        run = engine.fit(
+            federated, source_ids, init_params,
+            verbose=verbose, resume=resume,
+        )
         return ReptileResult(
             params=run.params,
             nodes=run.nodes,

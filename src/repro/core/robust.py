@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..data.dataset import FederatedDataset
-from ..engine import AdversarialStrategy, RoundEngine, RunnerStepAdapter
+from ..engine import AdversarialStrategy, EngineOptions, RoundEngine, RunnerStepAdapter
 from ..engine.executors import Executor
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
@@ -121,6 +121,7 @@ class RobustFedML:
         participation=None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        engine_options: Optional[EngineOptions] = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -133,6 +134,7 @@ class RobustFedML:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor
+        self.engine_options = engine_options
         self.strategy = AdversarialStrategy(model, config, loss_fn)
 
     # ------------------------------------------------------------------
@@ -161,6 +163,7 @@ class RobustFedML:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> RobustFedMLResult:
         engine = RoundEngine(
             self._engine_strategy(),
@@ -168,8 +171,12 @@ class RobustFedML:
             participation=self.participation,
             telemetry=self.telemetry,
             executor=self.executor,
+            options=self.engine_options,
         )
-        run = engine.fit(federated, source_ids, init_params, verbose=verbose)
+        run = engine.fit(
+            federated, source_ids, init_params,
+            verbose=verbose, resume=resume,
+        )
         return RobustFedMLResult(
             params=run.params,
             nodes=run.nodes,

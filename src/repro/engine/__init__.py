@@ -8,8 +8,8 @@ classes in :mod:`repro.core` are thin facades over this package; see
 """
 
 from .evaluation import loss_gradient, node_training_data, weighted_node_average
-from .executors import Executor, ParallelExecutor, SerialExecutor
-from .round_engine import EngineResult, RoundEngine
+from .executors import Executor, ExecutorError, ParallelExecutor, SerialExecutor
+from .round_engine import EngineOptions, EngineResult, RoundEngine
 from .strategies import (
     AdmlStrategy,
     AdversarialStrategy,
@@ -27,7 +27,9 @@ from .strategies import (
 __all__ = [
     "RoundEngine",
     "EngineResult",
+    "EngineOptions",
     "Executor",
+    "ExecutorError",
     "SerialExecutor",
     "ParallelExecutor",
     "LocalStrategy",

@@ -33,7 +33,24 @@ import numpy as np
 from ..federated.node import EdgeNode
 from ..nn.parameters import Params
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor"]
+__all__ = ["Executor", "ExecutorError", "SerialExecutor", "ParallelExecutor"]
+
+
+class ExecutorError(RuntimeError):
+    """A node's block failed; carries which node, which block, and why.
+
+    Both executors translate any exception escaping ``local_step`` into
+    this, so the engine's retry logic (and a human reading a traceback)
+    knows *where* the failure happened without parsing worker stack traces.
+    The original exception rides along as ``__cause__``.
+    """
+
+    def __init__(self, node_id: int, block_index: int, cause: BaseException):
+        self.node_id = node_id
+        self.block_index = block_index
+        super().__init__(
+            f"node {node_id} failed in block {block_index}: {cause!r}"
+        )
 
 
 class Executor(Protocol):
@@ -74,8 +91,11 @@ class SerialExecutor:
                     _node_seed(base_seed, block_index, node.node_id)
                 )
             )
-            for _ in range(steps):
-                strategy.local_step(node)
+            try:
+                for _ in range(steps):
+                    strategy.local_step(node)
+            except Exception as exc:
+                raise ExecutorError(node.node_id, block_index, exc) from exc
 
     def close(self) -> None:
         """Nothing to release."""
@@ -135,11 +155,27 @@ class ParallelExecutor:
             )
             for node in nodes
         ]
+        first_error: Optional[ExecutorError] = None
         for node, future in zip(nodes, futures):
-            params, local_steps, gradient_evaluations = future.result()
-            node.params = params
-            node.local_steps = local_steps
-            node.gradient_evaluations = gradient_evaluations
+            try:
+                params, local_steps, gradient_evaluations = future.result()
+            except Exception as exc:
+                # Keep draining: every future must settle or the pool's
+                # worker slots stay occupied by doomed tasks.  The first
+                # failure in node order is the one reported (deterministic
+                # regardless of which worker raced ahead).
+                if first_error is None:
+                    first_error = ExecutorError(
+                        node.node_id, block_index, exc
+                    )
+                    first_error.__cause__ = exc
+                continue
+            if first_error is None:
+                node.params = params
+                node.local_steps = local_steps
+                node.gradient_evaluations = gradient_evaluations
+        if first_error is not None:
+            raise first_error
 
     def close(self) -> None:
         if self._pool is not None:

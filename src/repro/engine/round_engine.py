@@ -16,25 +16,51 @@ aggregations) rather than single iterations: each node's T0 consecutive
 steps commute with other nodes' because nodes are independent between
 aggregations, so block execution is bit-identical to the textbook
 iteration-major loop — and it is the unit an executor can parallelize.
+
+Faults and resilience
+---------------------
+With :class:`EngineOptions` the engine additionally survives injected and
+real failures.  A seeded :class:`~repro.faults.plan.FaultPlan` decides —
+as a pure function of ``(plan seed, block, node)`` — which nodes crash,
+which updates are dropped/corrupted/delayed, and which executor workers
+fail flakily; a :class:`~repro.faults.policy.ResiliencePolicy` decides how
+the engine degrades (bounded retry with simulated backoff, round timeout
+on the link clock, NaN quarantine, a minimum-participant floor).  Because
+no decision reads wall-clock time or execution order, a faulty run is as
+bit-reproducible as a clean one, serial or parallel.
+
+Checkpoints are written at aggregation boundaries — the only points where
+every node holds the broadcast global model, so one parameter tree plus a
+JSON header (round counters, engine RNG state, comm totals, history)
+captures the whole run.  ``fit(..., resume=True)`` restarts from the last
+saved boundary and finishes bit-identically to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..data.dataset import FederatedDataset
+from ..faults.injector import FaultInjector, RunInterrupted
+from ..faults.plan import FaultPlan
+from ..faults.policy import ResiliencePolicy
 from ..federated.node import EdgeNode
 from ..federated.platform import Platform
 from ..federated.sampling import FullParticipation
 from ..nn.parameters import Params, detach
 from ..obs.telemetry import Telemetry, resolve
+from ..utils.checkpoint import load_checkpoint, save_checkpoint
 from ..utils.logging import RunLogger
-from .executors import Executor, SerialExecutor
+from .executors import Executor, ExecutorError, SerialExecutor
 
-__all__ = ["RoundEngine", "EngineResult"]
+__all__ = ["RoundEngine", "EngineResult", "EngineOptions"]
+
+#: reserved key prefix separating strategy extras from θ in a checkpoint
+_EXTRA_PREFIX = "::ckpt::"
+_CKPT_VERSION = 1
 
 
 @dataclass
@@ -47,6 +73,46 @@ class EngineResult:
     history: RunLogger
 
 
+@dataclass(frozen=True)
+class EngineOptions:
+    """Fault, resilience, and checkpoint configuration for one engine.
+
+    All fields default to "off": a default-constructed options object is
+    behaviourally identical to passing no options at all.
+    """
+
+    #: injected faults; ``None`` ≡ :meth:`FaultPlan.none` (no faults)
+    faults: Optional[FaultPlan] = None
+    #: how the engine degrades under faults; ``None`` = policy defaults
+    resilience: Optional[ResiliencePolicy] = None
+    #: where to write checkpoints (and read them back on resume)
+    checkpoint_path: Optional[str] = None
+    #: checkpoint every this many aggregations (1 = every boundary)
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+
+def _pack_checkpoint_tree(global_params: Params, extras: Params) -> Params:
+    merged = dict(global_params)
+    for name, tensor in extras.items():
+        merged[_EXTRA_PREFIX + name] = tensor
+    return merged
+
+
+def _unpack_checkpoint_tree(tree: Params) -> Tuple[Params, Params]:
+    params: Params = {}
+    extras: Params = {}
+    for name, tensor in tree.items():
+        if name.startswith(_EXTRA_PREFIX):
+            extras[name[len(_EXTRA_PREFIX):]] = tensor
+        else:
+            params[name] = tensor
+    return params, extras
+
+
 class RoundEngine:
     """Drives ``strategy`` through the canonical federated round loop."""
 
@@ -57,6 +123,7 @@ class RoundEngine:
         participation: Any = None,
         telemetry: Optional[Telemetry] = None,
         executor: Optional[Executor] = None,
+        options: Optional[EngineOptions] = None,
     ) -> None:
         self.strategy = strategy
         self.platform = platform if platform is not None else Platform()
@@ -67,6 +134,7 @@ class RoundEngine:
         if telemetry is not None and self.platform.telemetry is None:
             self.platform.telemetry = telemetry
         self.executor = executor if executor is not None else SerialExecutor()
+        self.options = options
 
     # ------------------------------------------------------------------
     def fit(
@@ -75,58 +143,117 @@ class RoundEngine:
         source_ids: Sequence[int],
         init_params: Optional[Params] = None,
         verbose: bool = False,
+        resume: bool = False,
     ) -> EngineResult:
-        """Run the strategy's algorithm and return the learned model."""
+        """Run the strategy's algorithm and return the learned model.
+
+        With ``resume=True`` (requires ``options.checkpoint_path``), the
+        run restarts from the last saved aggregation boundary instead of
+        θ⁰ and produces a result bit-identical to an uninterrupted run.
+        """
         strategy = self.strategy
         cfg = strategy.config
         name = strategy.name
-        rng = np.random.default_rng(cfg.seed)
+        opts = self.options
         tel = resolve(self.telemetry)
 
+        injector: Optional[FaultInjector] = None
+        resilient = opts is not None and (
+            opts.faults is not None or opts.resilience is not None
+        )
+        if resilient:
+            assert opts is not None
+            injector = FaultInjector(
+                opts.faults, opts.resilience, self.telemetry
+            )
+        checkpoint_path = opts.checkpoint_path if opts is not None else None
+        if resume and checkpoint_path is None:
+            raise ValueError(
+                "resume=True requires EngineOptions.checkpoint_path"
+            )
+
+        rng = np.random.default_rng(cfg.seed)
         nodes = strategy.build_nodes(federated, source_ids)
         for node in nodes:
             strategy.init_node_state(node)
 
-        params = strategy.initial_params(rng, init_params)
-        self.platform.initialize(params, nodes)
-        strategy.begin_fit(self.platform.global_params, nodes)
+        total = cfg.total_iterations
+        num_blocks = (total + cfg.t0 - 1) // cfg.t0
+        if injector is not None:
+            injector.begin([n.node_id for n in nodes], num_blocks)
 
         history = RunLogger(
             name=name,
             verbose=verbose,
             registry=self.telemetry.registry if self.telemetry else None,
         )
-        if strategy.log_initial:
-            initial = strategy.evaluate(self.platform.global_params, nodes)
-            if strategy.log_uplink:
-                initial["uplink_bytes"] = 0
-            history.log(0, **initial)
+
+        if resume:
+            assert checkpoint_path is not None
+            t, aggregations = self._restore(
+                checkpoint_path, strategy, nodes, rng, history, injector
+            )
+        else:
+            params = strategy.initial_params(rng, init_params)
+            self.platform.initialize(params, nodes)
+            strategy.begin_fit(self.platform.global_params, nodes)
+            t, aggregations = 0, 0
+            if strategy.log_initial:
+                initial = strategy.evaluate(self.platform.global_params, nodes)
+                if strategy.log_uplink:
+                    initial["uplink_bytes"] = 0
+                history.log(0, **initial)
 
         rounds_total = tel.counter("fl_rounds_total", algorithm=name)
         steps_total = tel.counter("fl_local_steps_total", algorithm=name)
         fit_span = tel.span("fit", algorithm=name)
         round_span = tel.span("round")
-        aggregations = 0
-        total = cfg.total_iterations
-        t = 0
         while t < total:
+            block = t // cfg.t0
             # One block: every node runs up to the next aggregation point
             # (or to T, when T is not a multiple of T0).
-            boundary = min(total, (t // cfg.t0 + 1) * cfg.t0)
+            boundary = min(total, (block + 1) * cfg.t0)
             steps = boundary - t
-            with tel.span("local_steps"):
-                self.executor.run_block(
-                    strategy,
-                    nodes,
-                    steps,
-                    block_index=t // cfg.t0,
-                    base_seed=cfg.seed,
+
+            stale_ids: Set[int] = set()
+            backoff: Dict[int, float] = {}
+            runnable: List[EdgeNode] = list(nodes)
+            if injector is not None:
+                crashed = injector.crashed(block)
+                runnable = [n for n in nodes if n.node_id not in crashed]
+                flaky_failed, backoff = injector.simulate_flaky(
+                    block, [n.node_id for n in runnable]
                 )
-                steps_total.inc(len(nodes) * steps)
+                runnable = [
+                    n for n in runnable if n.node_id not in flaky_failed
+                ]
+                stale_ids = crashed | flaky_failed
+
+            with tel.span("local_steps"):
+                if runnable:
+                    failed_ids = self._run_local_block(
+                        strategy, runnable, steps, block, cfg.seed,
+                        injector, backoff,
+                    )
+                    stale_ids |= failed_ids
+                steps_total.inc(
+                    sum(1 for n in runnable if n.node_id not in stale_ids)
+                    * steps
+                )
             t = boundary
             if t % cfg.t0 == 0:
                 with tel.span("aggregate"):
-                    participating = self.participation.select(nodes, t // cfg.t0)
+                    participating = self.participation.select(
+                        nodes, t // cfg.t0
+                    )
+                    if injector is not None:
+                        participating = injector.filter_updates(
+                            block,
+                            participating,
+                            stale_ids,
+                            steps,
+                            extra_delay_s=backoff,
+                        )
                     participating_ids = {id(node) for node in participating}
                     aggregated = self.platform.aggregate(participating)  # reprolint: disable=ENG001
                     # Nodes outside the participating set resynchronize too —
@@ -151,6 +278,21 @@ class RoundEngine:
                 if t < total:
                     round_span = tel.span("round")
             strategy.on_block_end(t, nodes, rng, tel)
+            # Checkpoint after on_block_end: the saved RNG state must
+            # include the draws made at this boundary (e.g. adversarial
+            # generation) or the resumed run would replay them.
+            if (
+                checkpoint_path is not None
+                and opts is not None
+                and t % cfg.t0 == 0
+                and aggregations % opts.checkpoint_every == 0
+            ):
+                self._save(
+                    checkpoint_path, strategy, nodes, rng, history,
+                    injector, t, aggregations,
+                )
+            if injector is not None and injector.kill_scheduled(block):
+                raise RunInterrupted(t, block, checkpoint_path)
         round_span.end()
         fit_span.end()
 
@@ -163,3 +305,167 @@ class RoundEngine:
             platform=self.platform,
             history=history,
         )
+
+    # ------------------------------------------------------------------
+    def _run_local_block(
+        self,
+        strategy: Any,
+        runnable: List[EdgeNode],
+        steps: int,
+        block: int,
+        base_seed: int,
+        injector: Optional[FaultInjector],
+        backoff: Dict[int, float],
+    ) -> Set[int]:
+        """Run one block, retrying real executor failures when resilient.
+
+        Returns node ids whose block was permanently lost (retries
+        exhausted under ``drop_on_failure``); they are treated as stale.
+        A failed attempt restores *every* pending node from its pre-block
+        snapshot and re-runs the whole set — re-execution is bit-identical
+        because the executors re-bind the same per-node RNG streams.
+        """
+        if injector is None:
+            self.executor.run_block(
+                strategy, runnable, steps,
+                block_index=block, base_seed=base_seed,
+            )
+            return set()
+
+        policy = injector.policy
+        snapshot = {
+            n.node_id: (
+                detach(n.params) if n.params is not None else None,
+                n.local_steps,
+                n.gradient_evaluations,
+            )
+            for n in runnable
+        }
+        pending = list(runnable)
+        failed_ids: Set[int] = set()
+        attempt = 0
+        while pending:
+            try:
+                self.executor.run_block(
+                    strategy, pending, steps,
+                    block_index=block, base_seed=base_seed,
+                )
+                return failed_ids
+            except ExecutorError as exc:
+                for node in pending:
+                    saved_params, local_steps, gradient_evals = snapshot[
+                        node.node_id
+                    ]
+                    node.params = (
+                        detach(saved_params)
+                        if saved_params is not None
+                        else None
+                    )
+                    node.local_steps = local_steps
+                    node.gradient_evaluations = gradient_evals
+                if attempt < policy.max_retries:
+                    injector.record_retry()
+                    # Backoff is simulated on the link clock, charged to
+                    # the failing node's delivery time — never a sleep.
+                    backoff[exc.node_id] = (
+                        backoff.get(exc.node_id, 0.0)
+                        + policy.backoff_s(attempt)
+                    )
+                    attempt += 1
+                    continue
+                if not policy.drop_on_failure:
+                    raise
+                failed_ids.add(exc.node_id)
+                pending = [
+                    n for n in pending if n.node_id != exc.node_id
+                ]
+                attempt = 0
+        return failed_ids
+
+    # ------------------------------------------------------------------
+    def _save(
+        self,
+        path: str,
+        strategy: Any,
+        nodes: Sequence[EdgeNode],
+        rng: np.random.Generator,
+        history: RunLogger,
+        injector: Optional[FaultInjector],
+        t: int,
+        aggregations: int,
+    ) -> None:
+        global_params = self.platform.global_params
+        assert global_params is not None  # only called after an aggregation
+        tree = _pack_checkpoint_tree(
+            detach(global_params), strategy.checkpoint_extras(nodes)
+        )
+        state = {
+            "version": _CKPT_VERSION,
+            "algorithm": strategy.name,
+            "seed": int(strategy.config.seed),
+            "t": int(t),
+            "iteration": int(t),
+            "aggregations": int(aggregations),
+            "rounds_completed": int(self.platform.rounds_completed),
+            "uplink_bytes": int(self.platform.comm_log.uplink_bytes),
+            "downlink_bytes": int(self.platform.comm_log.downlink_bytes),
+            "sim_clock_s": injector.sim_clock_s if injector else 0.0,
+            "rng_state": rng.bit_generator.state,
+            "node_counters": {
+                str(n.node_id): [n.local_steps, n.gradient_evaluations]
+                for n in nodes
+            },
+            "history": history.records,
+            "strategy": strategy.checkpoint_state(nodes),
+        }
+        save_checkpoint(path, tree, state)
+        resolve(self.telemetry).counter("fl_checkpoints_total").inc()
+
+    def _restore(
+        self,
+        path: str,
+        strategy: Any,
+        nodes: Sequence[EdgeNode],
+        rng: np.random.Generator,
+        history: RunLogger,
+        injector: Optional[FaultInjector],
+    ) -> Tuple[int, int]:
+        checkpoint = load_checkpoint(path)
+        state = checkpoint.state
+        if state.get("algorithm") != strategy.name:
+            raise ValueError(
+                f"checkpoint is for algorithm '{state.get('algorithm')}', "
+                f"not '{strategy.name}'"
+            )
+        if int(state.get("seed", -1)) != int(strategy.config.seed):
+            raise ValueError(
+                f"checkpoint seed {state.get('seed')} does not match "
+                f"config seed {strategy.config.seed}"
+            )
+        global_params, extras = _unpack_checkpoint_tree(checkpoint.params)
+        rng.bit_generator.state = state["rng_state"]
+        self.platform.restore(
+            global_params,
+            nodes,
+            rounds_completed=int(state["rounds_completed"]),
+            uplink_bytes=int(state["uplink_bytes"]),
+            downlink_bytes=int(state["downlink_bytes"]),
+        )
+        # begin_fit rebuilds anchor-style state from the restored global
+        # model (exactly what the uninterrupted run's last aggregation
+        # left behind); restore_state/extras reinstate the rest.
+        strategy.begin_fit(self.platform.global_params, nodes)
+        strategy.restore_state(state.get("strategy", {}), nodes)
+        strategy.restore_extras(extras, nodes)
+        counters = state.get("node_counters", {})
+        for node in nodes:
+            local_steps, gradient_evals = counters.get(
+                str(node.node_id), [0, 0]
+            )
+            node.local_steps = int(local_steps)
+            node.gradient_evaluations = int(gradient_evals)
+        history.load_records(state.get("history", []))
+        if injector is not None:
+            injector.sim_clock_s = float(state.get("sim_clock_s", 0.0))
+        resolve(self.telemetry).counter("fl_resumes_total").inc()
+        return int(state["t"]), int(state["aggregations"])

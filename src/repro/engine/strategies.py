@@ -136,6 +136,34 @@ class LocalStrategy:
     ) -> None:
         """Called at every block boundary ``t`` (multiples of T0 and T)."""
 
+    # -- checkpoint hooks -----------------------------------------------
+    # Checkpoints are written at aggregation boundaries, where every node
+    # already holds the broadcast global model — so the engine persists the
+    # global tree itself, and a strategy only contributes (a) extra tensors
+    # that live outside that tree and (b) JSON-serializable per-fit state.
+    def checkpoint_extras(self, nodes: Sequence[EdgeNode]) -> Params:
+        """Extra named tensors to persist beside θ (default: none)."""
+        return {}
+
+    def restore_extras(
+        self, extras: Params, nodes: Sequence[EdgeNode]
+    ) -> None:
+        """Reinstate tensors from :meth:`checkpoint_extras` (default: no-op)."""
+
+    def checkpoint_state(self, nodes: Sequence[EdgeNode]) -> Dict[str, Any]:
+        """JSON-serializable per-fit state to persist (default: none).
+
+        Called after ``begin_fit`` state exists; anything ``begin_fit``
+        rebuilds from the restored global model (e.g. the FedProx anchor)
+        need not be saved here.
+        """
+        return {}
+
+    def restore_state(
+        self, state: Dict[str, Any], nodes: Sequence[EdgeNode]
+    ) -> None:
+        """Reinstate state from :meth:`checkpoint_state` (default: no-op)."""
+
     def bind_node_rng(self, rng: np.random.Generator) -> None:
         """Install the executor's deterministic per-node generator."""
         self._node_rng = rng
@@ -675,6 +703,50 @@ class AdversarialStrategy(MetaStrategy):
                     self._generation_rounds[node.node_id] += 1
                     assert node.adversarial is not None
                     adv_total.inc(len(node.adversarial) - before)
+
+    def checkpoint_extras(self, nodes: Sequence[EdgeNode]) -> Params:
+        """Persist each node's grown ``D_i^adv`` beside the global tree."""
+        extras: Params = {}
+        for node in nodes:
+            if node.adversarial is not None and len(node.adversarial) > 0:
+                extras[f"adv::{node.node_id}::x"] = Tensor(
+                    np.asarray(node.adversarial.x, dtype=np.float64)
+                )
+                extras[f"adv::{node.node_id}::y"] = Tensor(
+                    np.asarray(node.adversarial.y, dtype=np.float64)
+                )
+        return extras
+
+    def restore_extras(
+        self, extras: Params, nodes: Sequence[EdgeNode]
+    ) -> None:
+        for node in nodes:
+            x_key = f"adv::{node.node_id}::x"
+            y_key = f"adv::{node.node_id}::y"
+            if x_key in extras and y_key in extras:
+                # Labels round-trip through the float64 wire format; they
+                # are small integers, so the cast back is exact.
+                node.adversarial = Dataset(
+                    x=extras[x_key].data.copy(),
+                    y=extras[y_key].data.astype(np.int64),
+                )
+
+    def checkpoint_state(self, nodes: Sequence[EdgeNode]) -> Dict[str, Any]:
+        return {
+            "generation_rounds": {
+                str(node_id): int(count)
+                for node_id, count in self._generation_rounds.items()
+            }
+        }
+
+    def restore_state(
+        self, state: Dict[str, Any], nodes: Sequence[EdgeNode]
+    ) -> None:
+        recorded = state.get("generation_rounds", {})
+        self._generation_rounds = {
+            node.node_id: int(recorded.get(str(node.node_id), 0))
+            for node in nodes
+        }
 
     def _adversarial_count(self, nodes: Sequence[EdgeNode]) -> float:
         return float(

@@ -1,0 +1,430 @@
+"""Deterministic fault plans: *what* goes wrong, *when*, to *whom*.
+
+A :class:`FaultPlan` composes schedules — each one a small generator of
+:class:`FaultEvent` records keyed by ``(block, node)`` — and compiles them
+against a concrete run (node ids + block count) into fast lookup tables the
+:class:`~repro.faults.injector.FaultInjector` consults every block.
+
+Everything is derived from the plan's seed through named
+:mod:`repro.utils.rng` streams, so the same ``(seed, schedules)`` pair
+always produces the same faults regardless of executor, worker count, or
+whether the run was resumed from a checkpoint mid-way.  That determinism is
+the subsystem's headline guarantee: a faulty run is as bit-reproducible as
+a clean one.
+
+Fault kinds
+-----------
+``crash``
+    The node is down for ``duration`` blocks starting at ``block``: it runs
+    no local steps and uploads nothing, then rejoins via the broadcast of
+    the next aggregation it survives to see.
+``drop``
+    The node computes its block but the update is lost in transit — it is
+    excluded from aggregation and resynchronized from the global model.
+``corrupt``
+    The update arrives damaged: ``mode="nan"`` poisons a ``fraction`` of
+    entries with NaN (caught by the policy's quarantine), ``mode="scale"``
+    silently multiplies the update by ``scale``.
+``delay``
+    Delivery is ``delay_s`` simulated seconds late.  Under a policy round
+    timeout the node becomes a straggler and is dropped; without one the
+    delay only shows up in the simulated round clock.
+``flaky``
+    The executor worker running the node's block fails ``fail_times``
+    times before succeeding; the policy's bounded retry absorbs it (or the
+    node misses the block when retries are exhausted).
+``kill``
+    The whole run dies at the end of ``block`` — after the checkpoint for
+    that boundary is written — by raising
+    :class:`~repro.faults.injector.RunInterrupted`.  Used to prove
+    kill-and-resume bit-exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..utils.rng import RngFactory
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "CrashSchedule",
+    "DropSchedule",
+    "CorruptSchedule",
+    "DelaySchedule",
+    "FlakyWorkerSchedule",
+    "KillSchedule",
+    "ExplicitSchedule",
+    "CompiledPlan",
+    "FaultPlan",
+    "FAULT_KINDS",
+]
+
+FAULT_KINDS = ("crash", "drop", "corrupt", "delay", "flaky", "kill")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete fault: ``kind`` hits ``node_id`` at ``block``."""
+
+    kind: str
+    block: int
+    node_id: int = -1  # -1: not node-scoped (kill)
+    duration: int = 1  # crash: blocks the node stays down
+    mode: str = "nan"  # corrupt: "nan" | "scale"
+    fraction: float = 1.0  # corrupt/nan: fraction of entries poisoned
+    scale: float = 10.0  # corrupt/scale: multiplier
+    delay_s: float = 0.0  # delay: extra simulated seconds
+    fail_times: int = 1  # flaky: worker failures before success
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind '{self.kind}'")
+        if self.block < 0:
+            raise ValueError("block must be non-negative")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+        if self.mode not in ("nan", "scale"):
+            raise ValueError(f"unknown corruption mode '{self.mode}'")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if self.fail_times < 1:
+            raise ValueError("fail_times must be >= 1")
+
+
+class FaultSchedule:
+    """Base class: a deterministic generator of fault events."""
+
+    kind: str = "?"
+
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
+        raise NotImplementedError
+
+
+def _bernoulli_cells(
+    node_ids: Sequence[int],
+    num_blocks: int,
+    rate: float,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """i.i.d. ``(block, node_id)`` cells hit with probability ``rate``.
+
+    Draws are made in a fixed (block-major, node-order) sequence so the hit
+    set depends only on the stream, not on container ordering.
+    """
+    hits: List[Tuple[int, int]] = []
+    for block in range(num_blocks):
+        for node_id in node_ids:
+            if rng.random() < rate:
+                hits.append((block, node_id))
+    return hits
+
+
+def _check_rate(rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    return rate
+
+
+@dataclass(frozen=True)
+class CrashSchedule(FaultSchedule):
+    """Each (block, node) cell starts a crash with probability ``rate``."""
+
+    rate: float
+    duration: int = 1
+    kind: str = field(default="crash", init=False)
+
+    def events(self, node_ids, num_blocks, rng):
+        _check_rate(self.rate)
+        return [
+            FaultEvent("crash", block, node_id, duration=self.duration)
+            for block, node_id in _bernoulli_cells(
+                node_ids, num_blocks, self.rate, rng
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class DropSchedule(FaultSchedule):
+    """Each node's block update is lost with probability ``rate``."""
+
+    rate: float
+    kind: str = field(default="drop", init=False)
+
+    def events(self, node_ids, num_blocks, rng):
+        _check_rate(self.rate)
+        return [
+            FaultEvent("drop", block, node_id)
+            for block, node_id in _bernoulli_cells(
+                node_ids, num_blocks, self.rate, rng
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class CorruptSchedule(FaultSchedule):
+    """Each node's block update is corrupted with probability ``rate``."""
+
+    rate: float
+    mode: str = "nan"
+    fraction: float = 1.0
+    scale: float = 10.0
+    kind: str = field(default="corrupt", init=False)
+
+    def events(self, node_ids, num_blocks, rng):
+        _check_rate(self.rate)
+        return [
+            FaultEvent(
+                "corrupt",
+                block,
+                node_id,
+                mode=self.mode,
+                fraction=self.fraction,
+                scale=self.scale,
+            )
+            for block, node_id in _bernoulli_cells(
+                node_ids, num_blocks, self.rate, rng
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class DelaySchedule(FaultSchedule):
+    """Each node's delivery is ``delay_s`` late with probability ``rate``."""
+
+    rate: float
+    delay_s: float = 1.0
+    kind: str = field(default="delay", init=False)
+
+    def events(self, node_ids, num_blocks, rng):
+        _check_rate(self.rate)
+        return [
+            FaultEvent("delay", block, node_id, delay_s=self.delay_s)
+            for block, node_id in _bernoulli_cells(
+                node_ids, num_blocks, self.rate, rng
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class FlakyWorkerSchedule(FaultSchedule):
+    """A node's worker fails ``fail_times`` before success, prob ``rate``."""
+
+    rate: float
+    fail_times: int = 1
+    kind: str = field(default="flaky", init=False)
+
+    def events(self, node_ids, num_blocks, rng):
+        _check_rate(self.rate)
+        return [
+            FaultEvent("flaky", block, node_id, fail_times=self.fail_times)
+            for block, node_id in _bernoulli_cells(
+                node_ids, num_blocks, self.rate, rng
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class KillSchedule(FaultSchedule):
+    """Kill the run at the end of ``block`` (after its checkpoint)."""
+
+    block: int
+    kind: str = field(default="kill", init=False)
+
+    def events(self, node_ids, num_blocks, rng):
+        if self.block < 0:
+            raise ValueError("block must be non-negative")
+        return [FaultEvent("kill", self.block)]
+
+
+@dataclass(frozen=True)
+class ExplicitSchedule(FaultSchedule):
+    """A literal event list — the fixture-friendly schedule."""
+
+    fault_events: Tuple[FaultEvent, ...]
+    kind: str = field(default="explicit", init=False)
+
+    def events(self, node_ids, num_blocks, rng):
+        return list(self.fault_events)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A plan resolved against one run's node ids and block count."""
+
+    crashes: Dict[int, Set[int]]  # node_id -> blocks the node is down
+    drops: Set[Tuple[int, int]]  # (block, node_id)
+    corrupts: Dict[Tuple[int, int], FaultEvent]
+    delays: Dict[Tuple[int, int], float]
+    flaky: Dict[Tuple[int, int], int]  # (block, node_id) -> fail count
+    kills: Set[int]  # blocks after which the run dies
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.crashes
+            or self.drops
+            or self.corrupts
+            or self.delays
+            or self.flaky
+            or self.kills
+        )
+
+    def crashed_nodes(self, block: int) -> Set[int]:
+        return {
+            node_id
+            for node_id, blocks in self.crashes.items()
+            if block in blocks
+        }
+
+
+_EMPTY_COMPILED = CompiledPlan(
+    crashes={}, drops=set(), corrupts={}, delays={}, flaky={}, kills=set()
+)
+
+
+class FaultPlan:
+    """A seeded, composable collection of fault schedules."""
+
+    def __init__(
+        self, schedules: Sequence[FaultSchedule] = (), seed: int = 0
+    ) -> None:
+        self.schedules: Tuple[FaultSchedule, ...] = tuple(schedules)
+        self.seed = int(seed)
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """The empty plan: the subsystem active, no faults injected."""
+        return cls((), seed=seed)
+
+    def compile(
+        self, node_ids: Sequence[int], num_blocks: int
+    ) -> CompiledPlan:
+        """Resolve schedules into lookup tables for one concrete run.
+
+        Each schedule draws from its own named stream
+        ``(seed, "faults", index, kind)``, so adding a schedule never
+        perturbs the events of the ones before it.
+        """
+        if not self.schedules:
+            return _EMPTY_COMPILED
+        factory = RngFactory(self.seed)
+        crashes: Dict[int, Set[int]] = {}
+        drops: Set[Tuple[int, int]] = set()
+        corrupts: Dict[Tuple[int, int], FaultEvent] = {}
+        delays: Dict[Tuple[int, int], float] = {}
+        flaky: Dict[Tuple[int, int], int] = {}
+        kills: Set[int] = set()
+        node_order = sorted(node_ids)
+        for index, schedule in enumerate(self.schedules):
+            rng = factory.stream("faults", index, schedule.kind)
+            for event in schedule.events(node_order, num_blocks, rng):
+                if event.kind == "kill":
+                    kills.add(event.block)
+                    continue
+                if event.node_id not in node_order:
+                    raise ValueError(
+                        f"fault event targets unknown node {event.node_id}"
+                    )
+                key = (event.block, event.node_id)
+                if event.kind == "crash":
+                    window = crashes.setdefault(event.node_id, set())
+                    window.update(
+                        range(event.block, event.block + event.duration)
+                    )
+                elif event.kind == "drop":
+                    drops.add(key)
+                elif event.kind == "corrupt":
+                    corrupts[key] = event
+                elif event.kind == "delay":
+                    delays[key] = delays.get(key, 0.0) + event.delay_s
+                elif event.kind == "flaky":
+                    flaky[key] = max(flaky.get(key, 0), event.fail_times)
+        return CompiledPlan(
+            crashes=crashes,
+            drops=drops,
+            corrupts=corrupts,
+            delays=delays,
+            flaky=flaky,
+            kills=kills,
+        )
+
+    # ------------------------------------------------------------------
+    #: spec keys accepted per kind, mapped onto schedule constructor args
+    _SPEC_KEYS = {
+        "crash": {"rate": float, "duration": int},
+        "drop": {"rate": float},
+        "corrupt": {
+            "rate": float,
+            "mode": str,
+            "fraction": float,
+            "scale": float,
+        },
+        "delay": {"rate": float, "delay_s": float},
+        "flaky": {"rate": float, "fail_times": int},
+        "kill": {"block": int},
+    }
+
+    _SPEC_CLASSES = {
+        "crash": CrashSchedule,
+        "drop": DropSchedule,
+        "corrupt": CorruptSchedule,
+        "delay": DelaySchedule,
+        "flaky": FlakyWorkerSchedule,
+        "kill": KillSchedule,
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a compact CLI spec into a plan.
+
+        Grammar: ``kind:key=value,key=value;kind:...`` — e.g.
+        ``"crash:rate=0.2;corrupt:rate=0.1,mode=nan;kill:block=3"``.
+        """
+        schedules: List[FaultSchedule] = []
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, arg_text = part.partition(":")
+            kind = kind.strip()
+            if kind not in cls._SPEC_CLASSES:
+                raise ValueError(
+                    f"unknown fault kind '{kind}' "
+                    f"(expected one of {sorted(cls._SPEC_CLASSES)})"
+                )
+            allowed = cls._SPEC_KEYS[kind]
+            kwargs = {}
+            for pair in filter(None, (p.strip() for p in arg_text.split(","))):
+                key, sep, value = pair.partition("=")
+                key = key.strip()
+                if not sep or key not in allowed:
+                    raise ValueError(
+                        f"bad '{kind}' option '{pair}' "
+                        f"(expected {sorted(allowed)})"
+                    )
+                kwargs[key] = allowed[key](value.strip())
+            schedules.append(cls._SPEC_CLASSES[kind](**kwargs))
+        return cls(schedules, seed=seed)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return FaultPlan(self.schedules, seed=seed)
+
+    def describe(self) -> str:
+        if not self.schedules:
+            return f"FaultPlan(seed={self.seed}, empty)"
+        parts = ", ".join(type(s).__name__ for s in self.schedules)
+        return f"FaultPlan(seed={self.seed}, [{parts}])"
+
+    __repr__ = describe

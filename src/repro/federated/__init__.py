@@ -7,12 +7,18 @@ from .node import EdgeNode, build_nodes
 from .platform import Platform
 from .privacy import GaussianMechanism, SecureAggregator
 from .compression import CompressedPlatform, TopKSparsifier, UniformQuantizer
-from .sampling import DropoutInjector, FullParticipation, UniformSampler
+from .sampling import (
+    DropoutInjector,
+    FullParticipation,
+    SeededSampler,
+    UniformSampler,
+)
 from .simulation import (
     DeviceProfile,
     FleetTimeline,
     RoundOutcome,
     sample_fleet,
+    simulate_round,
     simulate_synchronous_rounds,
 )
 
@@ -32,6 +38,7 @@ __all__ = [
     "SecureAggregator",
     "DropoutInjector",
     "FullParticipation",
+    "SeededSampler",
     "UniformSampler",
     "CompressedPlatform",
     "TopKSparsifier",
@@ -40,5 +47,6 @@ __all__ = [
     "FleetTimeline",
     "RoundOutcome",
     "sample_fleet",
+    "simulate_round",
     "simulate_synchronous_rounds",
 ]

@@ -52,10 +52,27 @@ class TransferRecord:
 
 @dataclass
 class CommunicationLog:
-    """Accumulates all transfers of a federated run."""
+    """Accumulates all transfers of a federated run.
+
+    A resumed run starts with an empty record list but must report the same
+    cumulative byte totals as the uninterrupted run (history records log
+    ``uplink_bytes``); :meth:`restore_totals` installs the byte counts the
+    checkpoint carried as offsets on the ``*_bytes`` properties.  Timing
+    views (:meth:`round_time`, :attr:`total_time`) only cover live records.
+    """
 
     link: LinkModel = field(default_factory=LinkModel)
     records: List[TransferRecord] = field(default_factory=list)
+    #: byte totals carried over from a checkpoint (not backed by records)
+    restored_uplink_bytes: int = 0
+    restored_downlink_bytes: int = 0
+
+    def restore_totals(self, uplink_bytes: int, downlink_bytes: int) -> None:
+        """Carry a checkpointed run's byte totals into this log."""
+        if min(uplink_bytes, downlink_bytes) < 0:
+            raise ValueError("restored byte totals must be non-negative")
+        self.restored_uplink_bytes += int(uplink_bytes)
+        self.restored_downlink_bytes += int(downlink_bytes)
 
     def charge_upload(self, round_index: int, node_id: int, num_bytes: int) -> float:
         seconds = self.link.upload_time(num_bytes)
@@ -73,15 +90,19 @@ class CommunicationLog:
 
     @property
     def total_bytes(self) -> int:
-        return sum(r.num_bytes for r in self.records)
+        return self.uplink_bytes + self.downlink_bytes
 
     @property
     def uplink_bytes(self) -> int:
-        return sum(r.num_bytes for r in self.records if r.direction == "up")
+        return self.restored_uplink_bytes + sum(
+            r.num_bytes for r in self.records if r.direction == "up"
+        )
 
     @property
     def downlink_bytes(self) -> int:
-        return sum(r.num_bytes for r in self.records if r.direction == "down")
+        return self.restored_downlink_bytes + sum(
+            r.num_bytes for r in self.records if r.direction == "down"
+        )
 
     def round_time(self, round_index: int) -> float:
         """Wall-clock cost of one aggregation round (slowest node wins)."""

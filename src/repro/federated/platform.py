@@ -48,6 +48,29 @@ class Platform:
         self.global_params = params
         self._broadcast(nodes, round_index=0)
 
+    def restore(
+        self,
+        params: Params,
+        nodes: Sequence[EdgeNode],
+        rounds_completed: int,
+        uplink_bytes: int = 0,
+        downlink_bytes: int = 0,
+    ) -> None:
+        """Reinstate a checkpointed run's platform state without charging.
+
+        The checkpoint was written at an aggregation boundary, where every
+        node already held the broadcast global model — so installing the
+        parameters here moves no bytes; the totals the interrupted run had
+        accumulated are carried over as offsets on the communication log.
+        """
+        if rounds_completed < 0:
+            raise ValueError("rounds_completed must be non-negative")
+        self.global_params = params
+        self.rounds_completed = rounds_completed
+        self.comm_log.restore_totals(uplink_bytes, downlink_bytes)
+        for node in nodes:
+            node.params = {name: t.detach() for name, t in params.items()}
+
     def aggregate(self, nodes: Sequence[EdgeNode]) -> Params:
         """One global aggregation: collect uploads, average, redistribute.
 

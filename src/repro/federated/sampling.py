@@ -13,7 +13,12 @@ import numpy as np
 
 from .node import EdgeNode
 
-__all__ = ["FullParticipation", "UniformSampler", "DropoutInjector"]
+__all__ = [
+    "FullParticipation",
+    "UniformSampler",
+    "SeededSampler",
+    "DropoutInjector",
+]
 
 
 class FullParticipation:
@@ -35,6 +40,30 @@ class UniformSampler:
     def select(self, nodes: Sequence[EdgeNode], round_index: int) -> List[EdgeNode]:
         count = max(1, int(round(self.fraction * len(nodes))))
         chosen = self._rng.choice(len(nodes), size=count, replace=False)
+        return [nodes[i] for i in sorted(chosen)]
+
+
+class SeededSampler:
+    """Uniform sampling keyed by ``(seed, round_index)`` — resume-safe.
+
+    :class:`UniformSampler` advances a shared generator, so a run resumed
+    from a checkpoint would replay rounds with a different participant
+    sequence than the uninterrupted run.  This sampler derives a fresh
+    stream per round from ``default_rng([seed, round_index])``: round ``r``
+    selects the same subset no matter how many rounds ran before it in
+    this process.
+    """
+
+    def __init__(self, fraction: float, seed: int) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.seed = int(seed)
+
+    def select(self, nodes: Sequence[EdgeNode], round_index: int) -> List[EdgeNode]:
+        rng = np.random.default_rng([self.seed, int(round_index)])
+        count = max(1, int(round(self.fraction * len(nodes))))
+        chosen = rng.choice(len(nodes), size=count, replace=False)
         return [nodes[i] for i in sorted(chosen)]
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "RoundOutcome",
     "FleetTimeline",
     "sample_fleet",
+    "simulate_round",
     "simulate_synchronous_rounds",
 ]
 
@@ -58,13 +59,24 @@ class DeviceProfile:
 
 @dataclass(frozen=True)
 class RoundOutcome:
-    """What happened in one synchronous round."""
+    """What happened in one synchronous round.
+
+    Byte accounting mirrors a real synchronous deployment: uplink is only
+    charged for devices whose update reached the platform, but the
+    broadcast goes to *every* device — dropped stragglers must resync to
+    the new global model or they would diverge, so they are charged
+    downlink even in rounds they did not contribute to.
+    """
 
     round_index: int
     started_at: float
     finished_at: float
     participants: List[int]
     stragglers_dropped: List[int]
+    #: bytes uploaded by the participants (stragglers upload nothing)
+    uplink_bytes: int = 0
+    #: broadcast bytes, charged to the whole fleet — including stragglers
+    downlink_bytes: int = 0
 
     @property
     def duration(self) -> float:
@@ -122,6 +134,62 @@ def sample_fleet(
     ]
 
 
+def simulate_round(
+    fleet: Sequence[DeviceProfile],
+    round_index: int,
+    started_at: float,
+    local_steps: int,
+    upload_bytes: int,
+    deadline_s: Optional[float] = None,
+    min_participants: int = 1,
+) -> RoundOutcome:
+    """Simulate one synchronous round starting at ``started_at``.
+
+    All devices compute ``local_steps`` steps and upload; the round closes
+    when the slowest *surviving* device finishes, plus the broadcast
+    downlink.  With a ``deadline_s``, devices that would exceed it are
+    dropped as stragglers, but at least ``min_participants`` are always
+    kept — the fastest ones (ties broken by device id) — even past the
+    deadline.  Dropped stragglers still receive the broadcast (they resync
+    to the new global model), so the round's ``downlink_bytes`` covers the
+    whole fleet and the broadcast leg waits on the slowest *fleet* link.
+    """
+    if not fleet:
+        raise ValueError("fleet must not be empty")
+    if min_participants < 1 or min_participants > len(fleet):
+        raise ValueError("min_participants must be in [1, len(fleet)]")
+
+    times: Dict[int, float] = {
+        d.device_id: d.round_time(local_steps, upload_bytes) for d in fleet
+    }
+    if deadline_s is None:
+        participants = sorted(times)
+        dropped: List[int] = []
+    else:
+        participants = sorted(
+            did for did, t in times.items() if t <= deadline_s
+        )
+        if len(participants) < min_participants:
+            # Keep the fastest devices even past the deadline.
+            fastest = heapq.nsmallest(
+                min_participants, times.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            participants = sorted(did for did, _ in fastest)
+        dropped = sorted(set(times) - set(participants))
+    round_compute = max(times[did] for did in participants)
+    # Everyone resyncs — the broadcast is charged across the full fleet.
+    broadcast = max(d.link.download_time(upload_bytes) for d in fleet)
+    return RoundOutcome(
+        round_index=round_index,
+        started_at=started_at,
+        finished_at=started_at + round_compute + broadcast,
+        participants=participants,
+        stragglers_dropped=dropped,
+        uplink_bytes=upload_bytes * len(participants),
+        downlink_bytes=upload_bytes * len(fleet),
+    )
+
+
 def simulate_synchronous_rounds(
     fleet: Sequence[DeviceProfile],
     num_rounds: int,
@@ -133,11 +201,8 @@ def simulate_synchronous_rounds(
 ) -> FleetTimeline:
     """Simulate ``num_rounds`` synchronous FedAvg/FedML-style rounds.
 
-    Every round, all devices compute ``local_steps_per_round`` steps and
-    upload; the round closes when the slowest surviving device finishes,
-    plus the broadcast downlink.  With a ``deadline_s``, devices that would
-    exceed it are dropped as stragglers (but at least ``min_participants``
-    are always kept — the fastest ones).
+    Each round is one :func:`simulate_round` chained on the shared clock;
+    see that function for the deadline/straggler and byte-accounting rules.
     """
     if num_rounds < 1:
         raise ValueError("num_rounds must be >= 1")
@@ -149,41 +214,27 @@ def simulate_synchronous_rounds(
     tel = resolve(telemetry)
     timeline = FleetTimeline()
     clock = 0.0
-    broadcast = max(d.link.download_time(upload_bytes) for d in fleet)
     for round_index in range(1, num_rounds + 1):
-        times: Dict[int, float] = {
-            d.device_id: d.round_time(local_steps_per_round, upload_bytes)
-            for d in fleet
-        }
-        if deadline_s is None:
-            participants = sorted(times)
-            dropped: List[int] = []
-        else:
-            participants = sorted(
-                did for did, t in times.items() if t <= deadline_s
-            )
-            if len(participants) < min_participants:
-                # Keep the fastest devices even past the deadline.
-                fastest = heapq.nsmallest(
-                    min_participants, times.items(), key=lambda kv: kv[1]
-                )
-                participants = sorted(did for did, _ in fastest)
-            dropped = sorted(set(times) - set(participants))
-        round_compute = max(times[did] for did in participants)
-        finished = clock + round_compute + broadcast
-        timeline.rounds.append(
-            RoundOutcome(
-                round_index=round_index,
-                started_at=clock,
-                finished_at=finished,
-                participants=participants,
-                stragglers_dropped=dropped,
-            )
+        outcome = simulate_round(
+            fleet,
+            round_index,
+            clock,
+            local_steps_per_round,
+            upload_bytes,
+            deadline_s=deadline_s,
+            min_participants=min_participants,
         )
+        timeline.rounds.append(outcome)
         tel.counter("sim_rounds_total").inc()
-        tel.counter("sim_stragglers_dropped_total").inc(len(dropped))
-        tel.histogram("sim_round_seconds").observe(finished - clock)
-        tel.series("sim_participants").observe(round_index, len(participants))
-        clock = finished
+        tel.counter("sim_stragglers_dropped_total").inc(
+            len(outcome.stragglers_dropped)
+        )
+        tel.counter("sim_bytes_up_total").inc(outcome.uplink_bytes)
+        tel.counter("sim_bytes_down_total").inc(outcome.downlink_bytes)
+        tel.histogram("sim_round_seconds").observe(outcome.duration)
+        tel.series("sim_participants").observe(
+            round_index, len(outcome.participants)
+        )
+        clock = outcome.finished_at
     tel.gauge("sim_total_seconds").set(timeline.total_time)
     return timeline

@@ -54,14 +54,37 @@ def save_checkpoint(path: str, params: Params, state: Optional[Dict] = None) -> 
 
 
 def load_checkpoint(path: str) -> Checkpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`."""
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`ValueError` for anything that is not a complete, intact
+    checkpoint — wrong magic, unknown version, or a file truncated anywhere
+    in the header or parameter payload (e.g. a partial write that bypassed
+    the atomic tmp-file + rename path).
+    """
     with open(path, "rb") as handle:
         magic = handle.read(4)
         if magic != _MAGIC:
             raise ValueError(f"{path} is not a repro checkpoint")
-        version, header_len = struct.unpack("<HI", handle.read(6))
+        prefix = handle.read(6)
+        if len(prefix) != 6:
+            raise ValueError(f"{path} is truncated: incomplete header prefix")
+        version, header_len = struct.unpack("<HI", prefix)
         if version != _VERSION:
             raise ValueError(f"unsupported checkpoint version {version}")
-        state = json.loads(handle.read(header_len).decode("utf-8"))
-        params = deserialize_params(handle.read())
+        header = handle.read(header_len)
+        if len(header) != header_len:
+            raise ValueError(
+                f"{path} is truncated: header is {len(header)} of "
+                f"{header_len} bytes"
+            )
+        try:
+            state = json.loads(header.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{path} has a corrupt state header: {exc}")
+        if not isinstance(state, dict):
+            raise ValueError(f"{path} state header must be a JSON object")
+        try:
+            params = deserialize_params(handle.read())
+        except ValueError as exc:
+            raise ValueError(f"{path} has a corrupt parameter payload: {exc}")
     return Checkpoint(params=params, state=state)

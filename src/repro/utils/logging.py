@@ -45,6 +45,17 @@ class RunLogger:
             rendered = ", ".join(f"{k}={v:.4f}" for k, v in metrics.items())
             print(f"[{self.name}] step {step}: {rendered}")
 
+    def load_records(self, records: Sequence[Dict[str, float]]) -> None:
+        """Replay previously captured :attr:`records` into this logger.
+
+        Used by checkpoint resume: the restored engine preloads the history
+        that was logged before the interruption so the final ``records``
+        list is identical to an uninterrupted run's.
+        """
+        for record in records:
+            metrics = {k: v for k, v in record.items() if k != "step"}
+            self.log(int(record["step"]), **metrics)
+
     @property
     def records(self) -> List[Dict[str, float]]:
         """Per-call ``{"step": ..., metric: ...}`` dicts (legacy view)."""

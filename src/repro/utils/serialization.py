@@ -41,23 +41,44 @@ def serialize_params(params: Params) -> bytes:
     return buffer.getvalue()
 
 
+def _read_exact(buffer: io.BytesIO, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes or fail loudly — never half-decode.
+
+    A short read means the blob was truncated in transit or on disk; the
+    float64 payload would otherwise silently decode to a smaller array.
+    """
+    data = buffer.read(count)
+    if len(data) != count:
+        raise ValueError(
+            f"truncated parameter blob: expected {count} bytes of {what}, "
+            f"got {len(data)}"
+        )
+    return data
+
+
 def deserialize_params(blob: bytes) -> Params:
-    """Inverse of :func:`serialize_params`."""
+    """Inverse of :func:`serialize_params`; rejects truncated blobs."""
     buffer = io.BytesIO(blob)
     magic = buffer.read(4)
     if magic != _MAGIC:
         raise ValueError("not a serialized parameter blob")
-    version, count = struct.unpack("<HI", buffer.read(6))
+    version, count = struct.unpack("<HI", _read_exact(buffer, 6, "header"))
     if version != _VERSION:
         raise ValueError(f"unsupported version {version}")
     params: Dict[str, Tensor] = {}
     for _ in range(count):
-        (name_len,) = struct.unpack("<H", buffer.read(2))
-        name = buffer.read(name_len).decode("utf-8")
-        (ndim,) = struct.unpack("<B", buffer.read(1))
-        shape = struct.unpack(f"<{ndim}q", buffer.read(8 * ndim)) if ndim else ()
+        (name_len,) = struct.unpack("<H", _read_exact(buffer, 2, "name length"))
+        name = _read_exact(buffer, name_len, "name").decode("utf-8")
+        (ndim,) = struct.unpack("<B", _read_exact(buffer, 1, "rank"))
+        shape = (
+            struct.unpack(f"<{ndim}q", _read_exact(buffer, 8 * ndim, "shape"))
+            if ndim
+            else ()
+        )
+        if any(dim < 0 for dim in shape):
+            raise ValueError(f"corrupt parameter blob: negative shape {shape}")
         size = int(np.prod(shape)) if shape else 1
-        payload = buffer.read(8 * size)
+        payload = _read_exact(buffer, 8 * size, f"payload of '{name}'")
         array = np.frombuffer(payload, dtype=np.float64).reshape(shape).copy()
         params[name] = Tensor(array)
     return params

@@ -48,28 +48,42 @@ def build_workload():
     return fed, sources, model
 
 
-def build_runners(model):
+def build_runners(model, **runner_kwargs):
+    """The seven facades at the golden configuration.
+
+    ``runner_kwargs`` are forwarded to every facade constructor — the chaos
+    suite uses this to attach ``engine_options`` (fault plans, resilience,
+    checkpoints) to the exact workload the golden traces were captured on.
+    """
     common = dict(t0=3, total_iterations=12, seed=0)
     return {
         "fedml": FedML(
-            model, FedMLConfig(alpha=0.05, beta=0.05, k=3, **common)
+            model, FedMLConfig(alpha=0.05, beta=0.05, k=3, **common),
+            **runner_kwargs,
         ),
-        "fedavg": FedAvg(model, FedAvgConfig(learning_rate=0.05, **common)),
+        "fedavg": FedAvg(
+            model, FedAvgConfig(learning_rate=0.05, **common),
+            **runner_kwargs,
+        ),
         "fedprox": FedProx(
-            model, FedProxConfig(learning_rate=0.05, mu_prox=0.1, **common)
+            model, FedProxConfig(learning_rate=0.05, mu_prox=0.1, **common),
+            **runner_kwargs,
         ),
         "reptile": FederatedReptile(
             model,
             ReptileConfig(
                 inner_lr=0.05, outer_lr=0.5, inner_steps=2, k=3, **common
             ),
+            **runner_kwargs,
         ),
         "meta-sgd": FederatedMetaSGD(
-            model, MetaSGDConfig(alpha_init=0.05, beta=0.05, k=3, **common)
+            model, MetaSGDConfig(alpha_init=0.05, beta=0.05, k=3, **common),
+            **runner_kwargs,
         ),
         "adml": FederatedADML(
             model,
             ADMLConfig(alpha=0.05, beta=0.05, k=3, epsilon=0.05, **common),
+            **runner_kwargs,
         ),
         "robust-fedml": RobustFedML(
             model,
@@ -77,6 +91,7 @@ def build_runners(model):
                 alpha=0.05, beta=0.05, k=3, lam=1.0, nu=0.5, ta=2, n0=2,
                 r_max=1, **common
             ),
+            **runner_kwargs,
         ),
     }
 

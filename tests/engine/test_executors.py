@@ -13,6 +13,7 @@ import pytest
 from repro.core import FedAvg, FedAvgConfig, FedML, FedMLConfig
 from repro.data import SyntheticConfig, generate_synthetic
 from repro.engine import (
+    ExecutorError,
     LocalStrategy,
     ParallelExecutor,
     RoundEngine,
@@ -114,6 +115,62 @@ class TestParallelMatchesSerial:
             to_vector(serial.params), to_vector(parallel.params)
         )
         assert serial.history.records == parallel.history.records
+
+
+class ExplodingStrategy(NoisyStrategy):
+    """Fails every step on selected nodes (picklable, module-level)."""
+
+    name = "exploding"
+    fail_nodes = frozenset({3})
+
+    def local_step(self, node):
+        if node.node_id in self.fail_nodes:
+            raise ValueError("injected worker failure")
+        return super().local_step(node)
+
+
+class ExplodingTwoStrategy(ExplodingStrategy):
+    fail_nodes = frozenset({1, 4})
+
+
+class TestExecutorErrors:
+    """A worker raising mid-block surfaces with context, no pool hang."""
+
+    def _fit(self, workload, executor, strategy_cls=ExplodingStrategy):
+        fed, sources, model = workload
+        strategy = strategy_cls(model, NoisyConfig())
+        return RoundEngine(strategy, executor=executor).fit(fed, sources)
+
+    def test_serial_error_carries_node_and_block(self, workload):
+        with pytest.raises(ExecutorError) as excinfo:
+            self._fit(workload, SerialExecutor())
+        err = excinfo.value
+        assert err.node_id == 3
+        assert err.block_index == 0
+        assert "node 3" in str(err)
+        assert "block 0" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_parallel_error_carries_context_and_pool_survives(self, workload):
+        fed, sources, model = workload
+        with ParallelExecutor(max_workers=3) as executor:
+            with pytest.raises(ExecutorError) as excinfo:
+                self._fit(workload, executor)
+            err = excinfo.value
+            assert err.node_id == 3
+            assert err.block_index == 0
+            assert isinstance(err.__cause__, ValueError)
+            # all futures were drained: the pool is immediately reusable
+            healthy = RoundEngine(
+                NoisyStrategy(model, NoisyConfig()), executor=executor
+            ).fit(fed, sources)
+            assert np.isfinite(to_vector(healthy.params)).all()
+
+    def test_parallel_reports_first_failure_in_node_order(self, workload):
+        with ParallelExecutor(max_workers=3) as executor:
+            with pytest.raises(ExecutorError) as excinfo:
+                self._fit(workload, executor, ExplodingTwoStrategy)
+        assert excinfo.value.node_id == 1
 
 
 class TestParallelExecutorLifecycle:

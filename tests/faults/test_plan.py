@@ -1,0 +1,175 @@
+"""Unit tests for fault plans, schedules, and the CLI spec parser."""
+
+import pytest
+
+from repro.faults import (
+    CorruptSchedule,
+    CrashSchedule,
+    DelaySchedule,
+    DropSchedule,
+    ExplicitSchedule,
+    FaultEvent,
+    FaultPlan,
+    FlakyWorkerSchedule,
+    KillSchedule,
+)
+
+NODES = [0, 1, 2, 3, 4]
+BLOCKS = 4
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meltdown", 0)
+
+    def test_negative_block(self):
+        with pytest.raises(ValueError):
+            FaultEvent("drop", -1)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", 0, 1, duration=0)
+
+    def test_bad_corruption_mode(self):
+        with pytest.raises(ValueError):
+            FaultEvent("corrupt", 0, 1, mode="zero")
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            FaultEvent("corrupt", 0, 1, fraction=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent("corrupt", 0, 1, fraction=1.5)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError):
+            FaultEvent("delay", 0, 1, delay_s=-1.0)
+
+    def test_bad_fail_times(self):
+        with pytest.raises(ValueError):
+            FaultEvent("flaky", 0, 1, fail_times=0)
+
+
+class TestCompile:
+    def test_empty_plan_compiles_empty(self):
+        compiled = FaultPlan.none().compile(NODES, BLOCKS)
+        assert compiled.empty
+        assert compiled.crashed_nodes(0) == set()
+
+    def test_same_seed_same_faults(self):
+        plan = FaultPlan(
+            [CrashSchedule(rate=0.3), DropSchedule(rate=0.3)], seed=42
+        )
+        assert plan.compile(NODES, BLOCKS) == plan.compile(NODES, BLOCKS)
+
+    def test_different_seed_different_faults(self):
+        schedules = [DropSchedule(rate=0.5)]
+        a = FaultPlan(schedules, seed=0).compile(NODES, BLOCKS)
+        b = FaultPlan(schedules, seed=1).compile(NODES, BLOCKS)
+        assert a.drops != b.drops
+
+    def test_compile_independent_of_node_order(self):
+        plan = FaultPlan([DropSchedule(rate=0.5)], seed=7)
+        forward = plan.compile(NODES, BLOCKS)
+        backward = plan.compile(list(reversed(NODES)), BLOCKS)
+        assert forward == backward
+
+    def test_adding_schedule_preserves_earlier_events(self):
+        """Each schedule draws its own named stream, so composition is
+        stable: appending a schedule never perturbs the ones before it."""
+        base = FaultPlan([DropSchedule(rate=0.4)], seed=3)
+        extended = FaultPlan(
+            [DropSchedule(rate=0.4), CrashSchedule(rate=0.4)], seed=3
+        )
+        assert base.compile(NODES, BLOCKS).drops == (
+            extended.compile(NODES, BLOCKS).drops
+        )
+
+    def test_crash_duration_spans_blocks(self):
+        plan = FaultPlan(
+            [ExplicitSchedule((FaultEvent("crash", 1, 2, duration=2),))]
+        )
+        compiled = plan.compile(NODES, BLOCKS)
+        assert compiled.crashed_nodes(0) == set()
+        assert compiled.crashed_nodes(1) == {2}
+        assert compiled.crashed_nodes(2) == {2}
+        assert compiled.crashed_nodes(3) == set()
+
+    def test_explicit_event_for_unknown_node_rejected(self):
+        plan = FaultPlan([ExplicitSchedule((FaultEvent("drop", 0, 99),))])
+        with pytest.raises(ValueError):
+            plan.compile(NODES, BLOCKS)
+
+    def test_kill_schedule_is_not_node_scoped(self):
+        compiled = FaultPlan([KillSchedule(block=2)]).compile(NODES, BLOCKS)
+        assert compiled.kills == {2}
+        assert not compiled.empty
+
+    def test_delays_accumulate_and_flaky_takes_max(self):
+        events = (
+            FaultEvent("delay", 0, 1, delay_s=1.0),
+            FaultEvent("delay", 0, 1, delay_s=2.5),
+            FaultEvent("flaky", 0, 2, fail_times=1),
+            FaultEvent("flaky", 0, 2, fail_times=3),
+        )
+        compiled = FaultPlan([ExplicitSchedule(events)]).compile(NODES, BLOCKS)
+        assert compiled.delays[(0, 1)] == pytest.approx(3.5)
+        assert compiled.flaky[(0, 2)] == 3
+
+    def test_rate_bounds_checked(self):
+        with pytest.raises(ValueError):
+            FaultPlan([DropSchedule(rate=1.5)]).compile(NODES, BLOCKS)
+
+    def test_rate_one_hits_every_cell(self):
+        compiled = FaultPlan([DropSchedule(rate=1.0)]).compile(NODES, BLOCKS)
+        assert len(compiled.drops) == len(NODES) * BLOCKS
+
+
+class TestFromSpec:
+    def test_full_grammar(self):
+        plan = FaultPlan.from_spec(
+            "crash:rate=0.2,duration=2;"
+            "drop:rate=0.1;"
+            "corrupt:rate=0.1,mode=scale,scale=5.0;"
+            "delay:rate=0.3,delay_s=2.0;"
+            "flaky:rate=0.2,fail_times=2;"
+            "kill:block=3",
+            seed=9,
+        )
+        kinds = [type(s).__name__ for s in plan.schedules]
+        assert kinds == [
+            "CrashSchedule",
+            "DropSchedule",
+            "CorruptSchedule",
+            "DelaySchedule",
+            "FlakyWorkerSchedule",
+            "KillSchedule",
+        ]
+        assert plan.seed == 9
+        assert plan.schedules[0].duration == 2
+        assert plan.schedules[2].mode == "scale"
+        assert plan.schedules[5].block == 3
+
+    def test_spec_matches_hand_built_plan(self):
+        spec = FaultPlan.from_spec("drop:rate=0.4", seed=5)
+        built = FaultPlan([DropSchedule(rate=0.4)], seed=5)
+        assert spec.compile(NODES, BLOCKS) == built.compile(NODES, BLOCKS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_spec("meltdown:rate=0.2")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="bad 'drop' option"):
+            FaultPlan.from_spec("drop:severity=9")
+
+    def test_empty_spec_is_empty_plan(self):
+        assert FaultPlan.from_spec("").compile(NODES, BLOCKS).empty
+
+    def test_with_seed_and_describe(self):
+        plan = FaultPlan.from_spec("drop:rate=0.1", seed=1)
+        reseeded = plan.with_seed(2)
+        assert reseeded.seed == 2
+        assert reseeded.schedules == plan.schedules
+        assert "DropSchedule" in plan.describe()
+        assert "empty" in FaultPlan.none().describe()

@@ -7,6 +7,7 @@ from repro.federated import (
     DeviceProfile,
     LinkModel,
     sample_fleet,
+    simulate_round,
     simulate_synchronous_rounds,
 )
 
@@ -185,6 +186,66 @@ class TestStragglerDeadlinePath:
             assert outcome.finished_at > outcome.started_at
             previous_end = outcome.finished_at
         assert timeline.total_time == pytest.approx(previous_end)
+
+    def test_deadline_dropping_everyone_keeps_min_participants(self):
+        # Every device needs >= 1 s; the 0.1 s deadline excludes them all,
+        # so the floor keeps exactly the two fastest.
+        fleet = fixed_fleet([0.3, 0.1, 0.2, 0.4])
+        outcome = simulate_round(
+            fleet, round_index=1, started_at=0.0, local_steps=10,
+            upload_bytes=0, deadline_s=0.1, min_participants=2,
+        )
+        assert outcome.participants == [1, 2]
+        assert outcome.stragglers_dropped == [0, 3]
+        # the round closes on the slowest *kept* device
+        assert outcome.finished_at == pytest.approx(10 * 0.2)
+
+    def test_floor_tie_breaks_by_device_id(self):
+        fleet = fixed_fleet([0.5, 0.5, 0.5])
+        outcome = simulate_round(
+            fleet, round_index=1, started_at=0.0, local_steps=10,
+            upload_bytes=0, deadline_s=0.1, min_participants=2,
+        )
+        assert outcome.participants == [0, 1]
+
+    def test_floor_of_full_fleet_disables_the_deadline(self):
+        fleet = fixed_fleet([0.1, 10.0])
+        outcome = simulate_round(
+            fleet, round_index=1, started_at=0.0, local_steps=10,
+            upload_bytes=0, deadline_s=0.5, min_participants=len(fleet),
+        )
+        assert outcome.participants == [0, 1]
+        assert outcome.stragglers_dropped == []
+
+    def test_dropped_stragglers_are_still_charged_downlink(self):
+        # Broadcast resyncs the whole fleet: downlink covers dropped
+        # stragglers too, while uplink only counts delivered updates.
+        fleet = fixed_fleet([0.1, 0.2, 10.0])
+        upload_bytes = 1_000
+        outcome = simulate_round(
+            fleet, round_index=1, started_at=0.0, local_steps=10,
+            upload_bytes=upload_bytes, deadline_s=5.0,
+        )
+        assert outcome.stragglers_dropped == [2]
+        assert outcome.uplink_bytes == upload_bytes * 2
+        assert outcome.downlink_bytes == upload_bytes * len(fleet)
+
+    def test_downlink_telemetry_counts_the_whole_fleet(self):
+        from repro.obs import MemorySink, Telemetry
+
+        telemetry = Telemetry(sink=MemorySink())
+        fleet = fixed_fleet([0.1, 10.0])
+        upload_bytes = 1_000
+        simulate_synchronous_rounds(
+            fleet, num_rounds=2, local_steps_per_round=10,
+            upload_bytes=upload_bytes, deadline_s=5.0, telemetry=telemetry,
+        )
+        registry = telemetry.registry
+        assert registry.get("sim_bytes_up_total").value == 2 * upload_bytes
+        assert (
+            registry.get("sim_bytes_down_total").value
+            == 2 * upload_bytes * len(fleet)
+        )
 
     def test_telemetry_records_straggler_accounting(self):
         from repro.obs import MemorySink, Telemetry
