@@ -1,0 +1,124 @@
+"""Ablation — autodiff fast path: graph-free backward + fused composites.
+
+``grad(..., create_graph=False)`` dispatches to :mod:`repro.autodiff.fastpath`:
+VJPs run on raw ndarrays (no cotangent graph is built), the traversal plan
+(toposort, on-path set, accumulation buffers) is cached by graph structure,
+and the logistic-regression hot path uses the fused
+``linear_softmax_xent`` composite.  This bench measures the trade on the
+workload the paper's FedML algorithm actually runs — the per-node exact
+meta-gradient (inner adaptation step differentiated through by the outer
+gradient) — with the fast path on vs. fully disabled.  Correctness is part
+of the record: both configurations must produce byte-identical gradients.
+
+Standalone mode writes the CI artifact ``BENCH_autodiff.json``::
+
+    PYTHONPATH=src python benchmarks/bench_autodiff_fastpath.py \
+        --repeats 30 --out BENCH_autodiff.json
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.autodiff import fastpath
+from repro.core.maml import meta_gradient
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.nn import LogisticRegression
+from repro.nn.parameters import require_grad, to_vector
+
+
+def build_workload(nodes=8, k=5, mean_samples=120):
+    """The FedML per-node setup: K-shot splits of a synthetic federation."""
+    model = LogisticRegression(60, 10)
+    fed = generate_synthetic(
+        SyntheticConfig(
+            alpha=0.5, beta=0.5, num_nodes=nodes,
+            mean_samples=mean_samples, seed=1,
+        )
+    )
+    splits = [fed.node_split(i, k) for i in range(nodes)]
+    params = require_grad(model.init(np.random.default_rng(0)))
+    return model, splits, params
+
+
+def sweep(model, splits, params, alpha, repeats):
+    """Run ``repeats`` epochs of per-node meta-gradients; return seconds."""
+    grads = []
+    start = time.perf_counter()
+    for _ in range(repeats):
+        grads = [
+            meta_gradient(model, params, split, alpha)[0] for split in splits
+        ]
+    elapsed = time.perf_counter() - start
+    return elapsed, np.concatenate([to_vector(g) for g in grads])
+
+
+def run_comparison(nodes=8, k=5, repeats=30, alpha=0.01):
+    """Time the meta-gradient sweep with the fast path on and off."""
+    model, splits, params = build_workload(nodes=nodes, k=k)
+    calls = repeats * nodes
+
+    # Warm-up outside the timed region: first call per structure pays the
+    # plan build; steady-state cost is what the training loop sees.
+    fastpath.clear_cache()
+    fastpath.reset_stats()
+    fast_warm, _ = sweep(model, splits, params, alpha, 1)
+    fast_s, fast_vec = sweep(model, splits, params, alpha, repeats)
+    stats = fastpath.stats().as_dict()
+
+    with fastpath.disabled():
+        ref_warm, _ = sweep(model, splits, params, alpha, 1)
+        ref_s, ref_vec = sweep(model, splits, params, alpha, repeats)
+
+    return {
+        "nodes": nodes,
+        "k_shot": k,
+        "repeats": repeats,
+        "meta_gradient_calls": calls,
+        "reference_seconds": ref_s,
+        "fastpath_seconds": fast_s,
+        "reference_calls_per_sec": calls / ref_s,
+        "fastpath_calls_per_sec": calls / fast_s,
+        "speedup": ref_s / fast_s,
+        "bit_identical": bool(fast_vec.tobytes() == ref_vec.tobytes()),
+        "fastpath_stats": stats,
+    }
+
+
+def test_ablation_autodiff_fastpath(benchmark):
+    """Pytest entry: fastpath gradients are byte-identical and faster."""
+    result = benchmark.pedantic(
+        run_comparison, kwargs={"repeats": 10}, rounds=1, iterations=1
+    )
+    assert result["bit_identical"], "fastpath diverged from reference"
+    assert result["fastpath_stats"]["plan_hits"] > 0
+    assert result["speedup"] > 1.0, (
+        f"fast path slower than reference: {result['speedup']:.2f}x"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=30)
+    parser.add_argument("--out", default="BENCH_autodiff.json")
+    args = parser.parse_args()
+
+    result = run_comparison(nodes=args.nodes, k=args.k, repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+    print(
+        f"{result['meta_gradient_calls']} meta-gradient calls: "
+        f"reference {result['reference_calls_per_sec']:.1f}/s, "
+        f"fastpath {result['fastpath_calls_per_sec']:.1f}/s "
+        f"({result['speedup']:.2f}x, "
+        f"bit_identical={result['bit_identical']}) -> {args.out}"
+    )
+    return 0 if result["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,6 +115,21 @@ class TensorInplaceMutationRule(LintRule):
             base = target.value
             if isinstance(base, ast.Attribute) and base.attr in _TENSOR_SLOTS:
                 attr = base
+            elif (
+                isinstance(base, ast.Call)
+                and isinstance(base.func, ast.Attribute)
+                and base.func.attr == "numpy"
+            ):
+                # ``t.numpy()[...] = x`` — the result is a view of tensor
+                # storage (read-only at runtime since the fast path landed,
+                # but flag it statically regardless).
+                kind = "augmented assignment into" if aug else "assignment into"
+                yield self.finding(
+                    ctx,
+                    target,
+                    f"{kind} '.numpy()' result writes tensor storage in place",
+                )
+                return
         if attr is not None:
             kind = "augmented assignment to" if aug else "assignment into"
             yield self.finding(

@@ -13,9 +13,13 @@ Public surface
     Functional reverse-mode differentiation (torch-``autograd.grad``-like).
 ``ops``
     Differentiable primitive operations (also exposed as methods/operators).
+``fastpath``
+    First-order backward accelerator: raw-ndarray VJP execution with a
+    structure-keyed plan cache (see docs/AUTODIFF.md).  Enabled by default;
+    ``fastpath.disabled()`` restores the reference backward.
 """
 
-from . import ops
+from . import fastpath, ops
 from .check import check_gradients, check_second_order, numerical_gradient
 from .profile import TapeProfiler, profile_ops
 from .ops import (
@@ -28,6 +32,7 @@ from .ops import (
     div,
     exp,
     getitem,
+    linear_softmax_xent,
     log,
     log_softmax,
     logsumexp,
@@ -44,6 +49,7 @@ from .ops import (
     reshape,
     sigmoid,
     softmax,
+    softmax_xent,
     sqrt,
     stack,
     sub,
@@ -63,6 +69,7 @@ __all__ = [
     "toposort",
     "GradientError",
     "ops",
+    "fastpath",
     "check_gradients",
     "check_second_order",
     "numerical_gradient",
@@ -77,6 +84,7 @@ __all__ = [
     "div",
     "exp",
     "getitem",
+    "linear_softmax_xent",
     "log",
     "log_softmax",
     "logsumexp",
@@ -93,6 +101,7 @@ __all__ = [
     "reshape",
     "sigmoid",
     "softmax",
+    "softmax_xent",
     "sqrt",
     "stack",
     "sub",

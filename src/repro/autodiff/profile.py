@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from . import ops
+from . import tensor as tensor_mod
 
 __all__ = ["OpStats", "TapeProfiler", "profile_ops"]
 
@@ -63,6 +64,11 @@ class TapeProfiler:
     """Collects per-op-type counts, element volume, and wall time."""
 
     op_stats: Dict[str, OpStats] = field(default_factory=dict)
+    #: Full graph traversals (toposorts) observed while profiling; a backward
+    #: pass should contribute exactly one.
+    graph_walks: int = 0
+    #: Total nodes visited across those traversals.
+    walked_nodes: int = 0
 
     # -- recording (called from the ops hook / timing wrappers) ---------
     def record_creation(self, op_name: str, elements: int, requires: bool) -> None:
@@ -73,6 +79,10 @@ class TapeProfiler:
         stats.elements += elements
         if requires:
             stats.grad_calls += 1
+
+    def record_walk(self, num_nodes: int) -> None:
+        self.graph_walks += 1
+        self.walked_nodes += num_nodes
 
     def record_time(self, op_name: str, seconds: float) -> None:
         stats = self.op_stats.get(op_name)
@@ -121,9 +131,12 @@ class TapeProfiler:
         for name, s in self.op_stats.items():
             registry.counter(f"{prefix}op_calls_total", op=name).inc(s.calls)
             registry.counter(f"{prefix}op_elements_total", op=name).inc(s.elements)
-            if s.seconds:
-                registry.counter(f"{prefix}op_seconds_total", op=name).inc(s.seconds)
+            # Emit seconds unconditionally: a zero-time op (too fast for the
+            # timer's resolution) must still produce the metric, otherwise
+            # the exported series appear and vanish run-to-run.
+            registry.counter(f"{prefix}op_seconds_total", op=name).inc(s.seconds)
         registry.counter(f"{prefix}tape_nodes_total").inc(self.tape_length)
+        registry.counter(f"{prefix}graph_walks_total").inc(self.graph_walks)
 
 
 def _timed(
@@ -152,6 +165,7 @@ def profile_ops(
         (name, getattr(ops, name)) for name in _TIMED_OPS
     ]
     ops._PROFILE_HOOK = prof.record_creation
+    tensor_mod._WALK_HOOK = prof.record_walk
     for name, fn in originals:
         # ops use trailing-underscore function names for builtins shadowing
         # (sum_, max_, ...) but plain names on the tape; key stats by the
@@ -161,5 +175,6 @@ def profile_ops(
         yield prof
     finally:
         ops._PROFILE_HOOK = None
+        tensor_mod._WALK_HOOK = None
         for name, fn in originals:
             setattr(ops, name, fn)

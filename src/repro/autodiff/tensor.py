@@ -49,19 +49,28 @@ class _Context:
         do not require grad.
     op_name:
         Human-readable operation name, used in error messages.
+    raw_vjps:
+        Optional ndarray-level VJPs (one per parent, or ``None``) used by the
+        first-order fast path in :mod:`repro.autodiff.fastpath`.  Fused ops
+        provide these so ``create_graph=False`` backward never has to build
+        cotangent graph nodes for them.
     """
 
-    __slots__ = ("parents", "vjps", "op_name")
+    __slots__ = ("parents", "vjps", "op_name", "raw_vjps")
 
     def __init__(
         self,
         parents: Sequence["Tensor"],
         vjps: Sequence[Optional[Callable[["Tensor"], "Tensor"]]],
         op_name: str,
+        raw_vjps: Optional[
+            Sequence[Optional[Callable[[np.ndarray], np.ndarray]]]
+        ] = None,
     ) -> None:
         self.parents = tuple(parents)
         self.vjps = tuple(vjps)
         self.op_name = op_name
+        self.raw_vjps = None if raw_vjps is None else tuple(raw_vjps)
 
 
 class Tensor:
@@ -101,16 +110,30 @@ class Tensor:
         return float(self.data)
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying array (a view; do not mutate)."""
-        return self.data
+        """Return a read-only view of the underlying array.
+
+        The view shares storage with this tensor, so it is free — but the
+        graph records *references*, and a caller writing through the result
+        would silently invalidate every VJP that captured the buffer.  The
+        view is therefore marked non-writeable; copy it to mutate.
+        """
+        view = self.data.view()
+        view.setflags(write=False)
+        return view
 
     def is_leaf(self) -> bool:
         return self._ctx is None
 
     def detach(self) -> "Tensor":
-        """Return a new leaf tensor sharing this tensor's data."""
-        out = Tensor(self.data)
-        return out
+        """Return a new leaf tensor sharing this tensor's data (read-only).
+
+        The detached tensor wraps a non-writeable view so the shared buffer
+        cannot be mutated through the detached handle (the same hazard
+        :meth:`numpy` guards against).
+        """
+        view = self.data.view()
+        view.setflags(write=False)
+        return Tensor(view)
 
     def __repr__(self) -> str:
         grad_tag = ", requires_grad=True" if self.requires_grad else ""
@@ -213,8 +236,15 @@ class Tensor:
     # ------------------------------------------------------------------
     def backward(self, grad_output: Optional["Tensor"] = None) -> None:
         """Populate ``.grad`` on every reachable leaf requiring grad."""
-        leaves = [t for t in toposort(self) if t.is_leaf() and t.requires_grad]
-        grads = grad(self, leaves, grad_output=grad_output, allow_unused=True)
+        # One graph walk: collect the leaves from the same topological order
+        # grad() consumes, instead of toposorting once here and again inside
+        # grad().
+        order = toposort(self)
+        leaves = [t for t in order if t.is_leaf() and t.requires_grad]
+        grads = grad(
+            self, leaves, grad_output=grad_output, allow_unused=True,
+            _order=order,
+        )
         for leaf, g in zip(leaves, grads):
             if g is None:
                 continue
@@ -231,6 +261,12 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 
 def is_tensor(value: object) -> bool:
     return isinstance(value, Tensor)
+
+
+# Walk hook installed by repro.autodiff.profile.profile_ops(); called as
+# hook(num_nodes) after every full graph traversal.  Lets the profiler count
+# traversals so regressions that re-walk the same graph are observable.
+_WALK_HOOK: Optional[Callable[[int], None]] = None
 
 
 def toposort(root: Tensor) -> List[Tensor]:
@@ -255,6 +291,8 @@ def toposort(root: Tensor) -> List[Tensor]:
             for parent in node._ctx.parents:
                 if id(parent) not in visited:
                     stack.append((parent, False))
+    if _WALK_HOOK is not None:
+        _WALK_HOOK(len(order))
     return order
 
 
@@ -278,6 +316,7 @@ def grad(
     grad_output: Optional[Tensor] = None,
     create_graph: bool = False,
     allow_unused: bool = False,
+    _order: Optional[List[Tensor]] = None,
 ) -> List[Optional[Tensor]]:
     """Compute ``d output / d inputs`` via reverse-mode differentiation.
 
@@ -293,10 +332,16 @@ def grad(
     create_graph:
         If ``True`` the returned gradients are themselves differentiable
         graph nodes (enables second-order gradients).  If ``False`` the
-        gradients are detached leaves.
+        gradients are detached leaves, and the backward pass runs on the
+        raw-ndarray fast path of :mod:`repro.autodiff.fastpath` (when
+        enabled; bit-identical to the reference path).
     allow_unused:
         If ``True``, inputs not reachable from ``output`` yield ``None``;
         otherwise a :class:`GradientError` is raised.
+    _order:
+        Internal: a topological order of ``output``'s graph obtained from
+        :func:`toposort`, to avoid a second walk when the caller already
+        has one (``Tensor.backward``).
 
     Returns
     -------
@@ -316,7 +361,26 @@ def grad(
             f"output shape {output.shape}"
         )
 
-    order = toposort(output)
+    order = toposort(output) if _order is None else _order
+
+    if not create_graph:
+        from . import fastpath
+
+        if fastpath.enabled():
+            raw = fastpath.backward(output, inputs, order, grad_output.data)
+            fast_results: List[Optional[Tensor]] = []
+            for arr in raw:
+                if arr is None:
+                    if not allow_unused:
+                        raise GradientError(
+                            "an input is unused in the graph; pass "
+                            "allow_unused=True to receive None for it"
+                        )
+                    fast_results.append(None)
+                else:
+                    fast_results.append(Tensor(arr))
+            return fast_results
+
     on_path = _requires_path(order, inputs)
 
     input_ids = {id(t) for t in inputs}

@@ -287,6 +287,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     executor = _build_executor(args)
     trainer = _build_trainer(args, model, telemetry, executor)
 
+    from .autodiff import fastpath
+
+    fastpath_was_enabled = fastpath.enabled()
+    if args.no_fastpath:
+        fastpath.disable()
+    fastpath.reset_stats()
+
     try:
         if args.profile_tape:
             from .autodiff.profile import profile_ops
@@ -313,8 +320,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
             )
         return 3
     finally:
+        if fastpath_was_enabled:
+            fastpath.enable()
         if executor is not None:
             executor.close()
+
+    if telemetry is not None:
+        fastpath.to_registry(telemetry.registry)
 
     history = result.history
     loss_key = (
@@ -556,6 +568,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--profile-tape", action="store_true",
         help="profile autodiff op counts and per-op-type time during training",
+    )
+    train.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the first-order autodiff fast path (raw-VJP backward "
+        "with plan caching); results are bit-identical either way",
     )
     train.set_defaults(func=_cmd_train)
 

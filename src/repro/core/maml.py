@@ -22,6 +22,7 @@ import numpy as np
 
 from ..autodiff import Tensor, grad
 from ..data.dataset import Dataset, NodeSplit
+from ..nn.fused import fused_model_loss
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
 from ..nn.parameters import Params, require_grad
@@ -63,7 +64,13 @@ def inner_adapt(
     ]
     current = dict(zip(names, tensors))
     for _ in range(steps):
-        loss = loss_fn(model.apply(current, data.x), data.y)
+        if create_graph:
+            # Exact MAML differentiates *through* this loss's backward, so
+            # keep the unfused composite: its double-backward arithmetic is
+            # the bit-reference.
+            loss = loss_fn(model.apply(current, data.x), data.y)
+        else:
+            loss = fused_model_loss(model, current, data.x, data.y, loss_fn)
         grads = grad(
             loss,
             [current[n] for n in names],
@@ -93,7 +100,7 @@ def meta_loss(
         model, params, split.train, alpha, steps=inner_steps,
         loss_fn=loss_fn, create_graph=False,
     )
-    return loss_fn(model.apply(phi, split.test.x), split.test.y).item()
+    return fused_model_loss(model, phi, split.test.x, split.test.y, loss_fn).item()
 
 
 def meta_gradient(
@@ -121,12 +128,15 @@ def meta_gradient(
         model, theta, split.train, alpha, steps=inner_steps,
         loss_fn=loss_fn, create_graph=not first_order,
     )
-    outer = loss_fn(model.apply(phi, split.test.x), split.test.y)
+    # The outer derivative below is always first-order (create_graph=False),
+    # so the fused composite applies even when the inner step kept an exact
+    # second-order graph.
+    outer = fused_model_loss(model, phi, split.test.x, split.test.y, loss_fn)
     if extra_test_sets:
         for extra in extra_test_sets:
             if len(extra) == 0:
                 continue
-            outer = outer + loss_fn(model.apply(phi, extra.x), extra.y)
+            outer = outer + fused_model_loss(model, phi, extra.x, extra.y, loss_fn)
     names, tensors = _ordered(theta)
     grads = grad(outer, tensors, allow_unused=True)
     gradient_tree: Params = {}

@@ -16,6 +16,7 @@ import numpy as np
 from ..autodiff import Tensor, grad
 from ..data.dataset import Dataset
 from ..federated.node import EdgeNode
+from ..nn.fused import fused_model_loss
 from ..nn.modules import Model
 from ..nn.parameters import Params, require_grad
 
@@ -45,7 +46,7 @@ def loss_gradient(
 ) -> Params:
     """``∇_θ L(θ, data)`` with unused parameters mapped to zero gradients."""
     theta = require_grad(params)
-    loss = loss_fn(model.apply(theta, data.x), data.y)
+    loss = fused_model_loss(model, theta, data.x, data.y, loss_fn)
     names = sorted(theta)
     grads = grad(loss, [theta[n] for n in names], allow_unused=True)
     out: Params = {}

@@ -293,6 +293,26 @@ class RoundEngine:
                 )
             if injector is not None and injector.kill_scheduled(block):
                 raise RunInterrupted(t, block, checkpoint_path)
+        # The loop only evaluates on the eval_every cadence, so when the run
+        # ends between evaluation points (rounds % eval_every != 0) the last
+        # aggregation's metrics would never reach the history.  Always log
+        # the final state — unless it is already logged (divisible cadence,
+        # or a completed run re-entered through resume).
+        if aggregations and aggregations % cfg.eval_every != 0:
+            final_step = aggregations * cfg.t0
+            logged = history.steps()
+            if not logged or logged[-1] != final_step:
+                with tel.span("evaluate"):
+                    final_params = self.platform.global_params
+                    assert final_params is not None
+                    final_metrics: Dict[str, float] = strategy.evaluate(
+                        final_params, nodes
+                    )
+                    if strategy.log_uplink:
+                        final_metrics["uplink_bytes"] = (
+                            self.platform.comm_log.uplink_bytes
+                        )
+                    history.log(final_step, **final_metrics)
         round_span.end()
         fit_span.end()
 

@@ -41,6 +41,7 @@ from ..autodiff import Tensor, grad, ops
 from ..attacks.wasserstein import wasserstein_ascent
 from ..data.dataset import Dataset, FederatedDataset, NodeSplit
 from ..federated.node import EdgeNode, build_nodes
+from ..nn.fused import fused_model_loss
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
 from ..nn.parameters import Params, add_scaled, detach, require_grad
@@ -251,7 +252,9 @@ class SgdStrategy(LocalStrategy):
 
         def value(node: EdgeNode) -> float:
             data = self._full_data(node)
-            return self.loss_fn(self.model.apply(params, data.x), data.y).item()
+            return fused_model_loss(
+                self.model, params, data.x, data.y, self.loss_fn
+            ).item()
 
         return weighted_node_average(nodes, value)
 
@@ -395,8 +398,8 @@ class MetaSgdStrategy(LocalStrategy):
     ) -> Params:
         """One learned-rate inner step (detached, for evaluation)."""
         theta = require_grad(params)
-        loss = self.loss_fn(
-            self.model.apply(theta, split.train.x), split.train.y
+        loss = fused_model_loss(
+            self.model, theta, split.train.x, split.train.y, self.loss_fn
         )
         names = sorted(theta)
         grads = grad(loss, [theta[n] for n in names], allow_unused=True)
@@ -413,8 +416,8 @@ class MetaSgdStrategy(LocalStrategy):
         self, params: Params, log_alpha: Params, split: NodeSplit
     ) -> float:
         phi = self.adapt(params, log_alpha, split)
-        return self.loss_fn(
-            self.model.apply(phi, split.test.x), split.test.y
+        return fused_model_loss(
+            self.model, phi, split.test.x, split.test.y, self.loss_fn
         ).item()
 
     def local_step(self, node: EdgeNode) -> float:
@@ -441,8 +444,11 @@ class MetaSgdStrategy(LocalStrategy):
                 phi[name] = theta[name]
             else:
                 phi[name] = theta[name] - ops.exp(log_a[name]) * g
-        outer = self.loss_fn(
-            self.model.apply(phi, node.split.test.x), node.split.test.y
+        # The meta derivative below is create_graph=False, so the fused
+        # composite applies (the inner loss above must stay unfused: it is
+        # differentiated with create_graph=True).
+        outer = fused_model_loss(
+            self.model, phi, node.split.test.x, node.split.test.y, self.loss_fn
         )
 
         leaves = [theta[n] for n in names] + [log_a[n] for n in names]

@@ -1,6 +1,7 @@
 """Functional neural-network library on top of :mod:`repro.autodiff`."""
 
 from . import init, parameters
+from .fused import fused_model_loss
 from .losses import accuracy, cross_entropy, mse, one_hot
 from .modules import MLP, EmbeddingClassifier, LogisticRegression, Model
 from .optim import SGD, Adam, Optimizer
@@ -28,6 +29,7 @@ __all__ = [
     "parameters",
     "accuracy",
     "cross_entropy",
+    "fused_model_loss",
     "mse",
     "one_hot",
     "Model",

@@ -94,6 +94,25 @@ class TestAd101InplaceMutation:
         """
         assert "AD101" not in ids_in(src)
 
+    def test_fires_on_write_through_numpy_view(self):
+        """Regression: ``t.numpy()[...] = x`` writes tensor storage through
+        the exported view and used to slip past AD101 because the subscript
+        base is a Call, not an Attribute."""
+        src = """
+        def corrupt(t, x):
+            t.numpy()[0] = x
+            t.numpy()[1:] += x
+        """
+        assert ids_in(src).count("AD101") == 2
+
+    def test_numpy_read_is_clean(self):
+        src = """
+        def export(t):
+            values = t.numpy()
+            return values[0], t.numpy().sum()
+        """
+        assert "AD101" not in ids_in(src)
+
 
 class TestAd102VjpDetach:
     def test_fires_on_data_access_in_vjp_closure(self):

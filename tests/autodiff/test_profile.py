@@ -121,3 +121,55 @@ class TestExport:
         with profile_ops(prof):
             forward_backward()
         assert prof.total_ops == 2 * first
+
+    def test_zero_time_ops_still_export_seconds(self):
+        """Regression: ops too fast for the timer (seconds == 0.0) used to
+        be silently dropped from autodiff_op_seconds_total, so the metric's
+        presence varied run-to-run."""
+        from repro.obs import MetricRegistry
+
+        prof = TapeProfiler()
+        prof.record_creation("add", 4, True)  # created, never timed: 0.0s
+        registry = MetricRegistry()
+        prof.to_registry(registry)
+        seconds = registry.get("autodiff_op_seconds_total", op="add")
+        assert seconds is not None
+        assert seconds.value == 0.0
+
+    def test_sum_creation_and_timing_share_one_bucket(self):
+        """The op function is ``sum_`` but the tape records ``sum``; the
+        rstrip keying must land creation counts and wall time in the same
+        stats bucket (and therefore the same metric labels)."""
+        from repro.obs import MetricRegistry
+
+        with profile_ops() as prof:
+            a = Tensor(np.ones((8, 8)), requires_grad=True)
+            ops.sum_(a)
+        assert "sum" in prof.op_stats
+        assert "sum_" not in prof.op_stats
+        assert prof.op_stats["sum"].calls == 1
+        assert prof.op_stats["sum"].seconds > 0
+        registry = MetricRegistry()
+        prof.to_registry(registry)
+        assert registry.get("autodiff_op_calls_total", op="sum").value == 1
+        assert registry.get("autodiff_op_seconds_total", op="sum") is not None
+        assert registry.get("autodiff_op_calls_total", op="sum_") is None
+
+    def test_graph_walks_counted_and_exported(self):
+        from repro.obs import MetricRegistry
+
+        with profile_ops() as prof:
+            forward_backward()  # one grad() call -> one traversal
+            forward_backward()
+        assert prof.graph_walks == 2
+        assert prof.walked_nodes > 0
+        registry = MetricRegistry()
+        prof.to_registry(registry)
+        assert registry.get("autodiff_graph_walks_total").value == 2
+
+    def test_walk_hook_uninstalled_after_context(self):
+        from repro.autodiff.profile import tensor_mod
+
+        with profile_ops():
+            assert tensor_mod._WALK_HOOK is not None
+        assert tensor_mod._WALK_HOOK is None

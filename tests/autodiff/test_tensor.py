@@ -36,6 +36,29 @@ class TestTensorBasics:
         assert not b.requires_grad
         np.testing.assert_array_equal(b.data, [1.0, 4.0])
 
+    def test_numpy_returns_read_only_view(self):
+        """Regression: ``t.numpy()`` used to hand out a writable view of the
+        tensor's storage, so callers could silently corrupt values already
+        captured by VJP closures."""
+        a = tensor([1.0, 2.0], requires_grad=True)
+        view = a.numpy()
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+        # The underlying tensor still reads/writes normally through ops.
+        np.testing.assert_array_equal(a.data, [1.0, 2.0])
+
+    def test_detach_returns_read_only_view(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        d = (a * a).detach()
+        assert not d.data.flags.writeable
+        with pytest.raises(ValueError):
+            d.data[0] = 99.0
+
+    def test_numpy_shares_storage_without_copy(self):
+        a = tensor([1.0, 2.0])
+        assert a.numpy().base is a.data
+
     def test_requires_grad_propagates(self):
         a = tensor([1.0], requires_grad=True)
         b = tensor([2.0])

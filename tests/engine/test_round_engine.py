@@ -153,6 +153,45 @@ class TestRoundCadence:
         # initial record + aggregations 2 and 4 (of 4)
         assert result.history.steps() == [0, 4, 8]
 
+    def test_final_round_always_evaluated_with_non_divisible_cadence(
+        self, workload
+    ):
+        """Regression: with ``rounds % eval_every != 0`` the engine used to
+        return without ever evaluating the final aggregated model, so the
+        history's last record described a stale snapshot."""
+        fed, sources = workload
+        model = LogisticRegression(60, 10)
+        runner = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, k=2, t0=2, total_iterations=8,
+                eval_every=3, seed=0,
+            ),
+        )
+        result = runner.fit(fed, sources)
+        # initial record, aggregation 3 (cadence), and the final
+        # aggregation 4 which the cadence alone would have skipped.
+        assert result.history.steps() == [0, 6, 8]
+        final = result.history.records[-1]
+        assert final["step"] == 8
+        assert "global_meta_loss" in final
+        assert "uplink_bytes" in final
+
+    def test_divisible_cadence_does_not_double_log_final_round(
+        self, workload
+    ):
+        fed, sources = workload
+        model = LogisticRegression(60, 10)
+        runner = FedML(
+            model,
+            FedMLConfig(
+                alpha=0.05, beta=0.05, k=2, t0=2, total_iterations=8,
+                eval_every=4, seed=0,
+            ),
+        )
+        result = runner.fit(fed, sources)
+        assert result.history.steps() == [0, 8]
+
     def test_partial_final_block_runs_local_steps_without_aggregation(
         self, workload
     ):
