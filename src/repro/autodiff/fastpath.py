@@ -62,6 +62,7 @@ __all__ = [
     "disabled",
     "enable",
     "enabled",
+    "merge_stats",
     "plan_cache_size",
     "reset_stats",
     "stats",
@@ -129,6 +130,11 @@ class FastpathStats:
             "fused_dispatches": self.fused_dispatches,
         }
 
+    def delta_since(self, baseline: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments since a previous :meth:`as_dict` snapshot."""
+        current = self.as_dict()
+        return {k: current[k] - baseline.get(k, 0) for k in current}
+
 
 _STATS = FastpathStats()
 
@@ -145,6 +151,24 @@ def reset_stats() -> None:
 def note_fused_dispatch() -> None:
     """Record that a call site dispatched to a fused composite op."""
     _STATS.fused_dispatches += 1
+
+
+def merge_stats(delta: Dict[str, int]) -> None:
+    """Fold a worker process's counter delta into this process's stats.
+
+    The :class:`~repro.engine.executors.ParallelExecutor` runs backward
+    passes in worker processes whose module-global counters die with the
+    worker; merging their per-task deltas here keeps the exported
+    ``autodiff_fastpath_*`` totals identical between serial and parallel
+    executions of the same workload.
+    """
+    _STATS.backwards += delta.get("backwards", 0)
+    _STATS.plan_hits += delta.get("plan_hits", 0)
+    _STATS.plan_misses += delta.get("plan_misses", 0)
+    _STATS.plan_evictions += delta.get("plan_evictions", 0)
+    _STATS.raw_vjp_calls += delta.get("raw_vjp_calls", 0)
+    _STATS.closure_vjp_calls += delta.get("closure_vjp_calls", 0)
+    _STATS.fused_dispatches += delta.get("fused_dispatches", 0)
 
 
 def to_registry(registry: Any, prefix: str = "autodiff_fastpath_") -> None:

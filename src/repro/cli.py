@@ -20,6 +20,12 @@ Record telemetry (spans, per-round byte accounting) and summarize it::
     python -m repro.cli train --algorithm fedml --dataset synthetic \
         --telemetry-out run.jsonl
     python -m repro.cli report run.jsonl
+    python -m repro.cli report run.jsonl --html dashboard.html
+
+Gate benchmark results against the committed performance baselines
+(non-zero exit on regression; re-baseline with ``--update``)::
+
+    python -m repro.cli bench-check BENCH_engine.json BENCH_autodiff.json
 
 Run the repo-specific linter and the autodiff graph sanitizer (both exit
 non-zero on findings; rule catalog in ``docs/STATIC_ANALYSIS.md``)::
@@ -436,6 +442,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if getattr(args, "html", None):
+        from .obs.dashboard import render_dashboard
+        from .obs.events import RunRecord
+
+        run = RunRecord.from_records(records)
+        page = render_dashboard(run, title=f"repro run — {args.path}")
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        print(f"dashboard written to {args.html}")
+        return 0
     summary = summarize(records)
     if args.json:
         print(
@@ -460,6 +476,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         return 0
     print(render_report(summary))
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from .obs.regress import run_gate
+
+    failures, lines = run_gate(
+        args.bench, args.baseline, update=args.update
+    )
+    for line in lines:
+        print(line)
+    if failures:
+        print(
+            f"bench-check: {len(failures)} regression(s) against "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -581,7 +615,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("path", help="telemetry file written by --telemetry-out")
     report.add_argument("--json", action="store_true", help="emit JSON")
+    report.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="render a self-contained HTML dashboard to PATH instead of text",
+    )
     report.set_defaults(func=_cmd_report)
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="gate benchmark JSON outputs against committed baselines "
+        "(exits non-zero on regression; seeds missing baselines)",
+    )
+    bench_check.add_argument(
+        "bench", nargs="+",
+        help="benchmark result files (BENCH_engine.json, ...)",
+    )
+    bench_check.add_argument(
+        "--baseline", default="benchmarks/baselines.json", metavar="PATH",
+        help="committed baseline file (default: benchmarks/baselines.json)",
+    )
+    bench_check.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the current results (intentional "
+        "performance changes)",
+    )
+    bench_check.set_defaults(func=_cmd_bench_check)
 
     lint = sub.add_parser(
         "lint",

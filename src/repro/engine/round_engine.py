@@ -188,6 +188,22 @@ class RoundEngine:
             registry=self.telemetry.registry if self.telemetry else None,
         )
 
+        events = tel.events
+        events.emit(
+            "run_start",
+            algorithm=name,
+            seed=int(cfg.seed),
+            nodes=len(nodes),
+            t0=int(cfg.t0),
+            total_iterations=int(total),
+            blocks=int(num_blocks),
+            executor=type(self.executor).__name__,
+            resumed=bool(resume),
+            policy=(
+                injector.policy.describe() if injector is not None else None
+            ),
+        )
+
         if resume:
             assert checkpoint_path is not None
             t, aggregations = self._restore(
@@ -214,6 +230,7 @@ class RoundEngine:
             # (or to T, when T is not a multiple of T0).
             boundary = min(total, (block + 1) * cfg.t0)
             steps = boundary - t
+            events.emit("round_start", block=block, t=t, steps=steps)
 
             stale_ids: Set[int] = set()
             backoff: Dict[int, float] = {}
@@ -274,6 +291,10 @@ class RoundEngine:
                                 self.platform.comm_log.uplink_bytes
                             )
                         history.log(t, **metrics)
+                events.emit(
+                    "round_end", block=block, t=t,
+                    participants=len(participating),
+                )
                 round_span.end()
                 if t < total:
                     round_span = tel.span("round")
@@ -315,6 +336,13 @@ class RoundEngine:
                     history.log(final_step, **final_metrics)
         round_span.end()
         fit_span.end()
+        events.emit(
+            "run_end",
+            t=int(t),
+            aggregations=int(aggregations),
+            uplink_bytes=int(self.platform.comm_log.uplink_bytes),
+            downlink_bytes=int(self.platform.comm_log.downlink_bytes),
+        )
 
         final = self.platform.global_params
         if final is None:  # T < T0: no aggregation happened; average manually
@@ -349,6 +377,7 @@ class RoundEngine:
             self.executor.run_block(
                 strategy, runnable, steps,
                 block_index=block, base_seed=base_seed,
+                telemetry=self.telemetry,
             )
             return set()
 
@@ -369,6 +398,7 @@ class RoundEngine:
                 self.executor.run_block(
                     strategy, pending, steps,
                     block_index=block, base_seed=base_seed,
+                    telemetry=self.telemetry,
                 )
                 return failed_ids
             except ExecutorError as exc:
@@ -384,7 +414,7 @@ class RoundEngine:
                     node.local_steps = local_steps
                     node.gradient_evaluations = gradient_evals
                 if attempt < policy.max_retries:
-                    injector.record_retry()
+                    injector.record_retry(block=block, node=exc.node_id)
                     # Backoff is simulated on the link clock, charged to
                     # the failing node's delivery time — never a sleep.
                     backoff[exc.node_id] = (
@@ -439,7 +469,11 @@ class RoundEngine:
             "strategy": strategy.checkpoint_state(nodes),
         }
         save_checkpoint(path, tree, state)
-        resolve(self.telemetry).counter("fl_checkpoints_total").inc()
+        saver = resolve(self.telemetry)
+        saver.counter("fl_checkpoints_total").inc()
+        saver.events.emit(
+            "checkpoint", t=int(t), aggregations=int(aggregations), path=path
+        )
 
     def _restore(
         self,
@@ -487,5 +521,12 @@ class RoundEngine:
         history.load_records(state.get("history", []))
         if injector is not None:
             injector.sim_clock_s = float(state.get("sim_clock_s", 0.0))
-        resolve(self.telemetry).counter("fl_resumes_total").inc()
+        restorer = resolve(self.telemetry)
+        restorer.counter("fl_resumes_total").inc()
+        restorer.events.emit(
+            "resume",
+            t=int(state["t"]),
+            aggregations=int(state["aggregations"]),
+            path=path,
+        )
         return int(state["t"]), int(state["aggregations"])

@@ -88,18 +88,41 @@ class FaultInjector:
         self._tel.counter("fl_stragglers_dropped_total")
 
     # -- counters (shared with the engine's real-failure path) ----------
-    def record_fault(self, kind: str, amount: int = 1) -> None:
+    def record_fault(
+        self,
+        kind: str,
+        amount: int = 1,
+        *,
+        block: Optional[int] = None,
+        node: Optional[int] = None,
+    ) -> None:
+        """Count one fault; with block context, log it on the event stream."""
         self._tel.counter("fl_faults_total", kind=kind).inc(amount)
+        if block is not None:
+            self._tel.events.emit(
+                "fault_injected", fault=kind, block=block, node=node,
+                count=amount,
+            )
 
-    def record_retry(self, amount: int = 1) -> None:
+    def record_retry(
+        self,
+        amount: int = 1,
+        *,
+        block: Optional[int] = None,
+        node: Optional[int] = None,
+    ) -> None:
         self._tel.counter("fl_retries_total").inc(amount)
+        if block is not None:
+            self._tel.events.emit(
+                "retry", block=block, node=node, count=amount
+            )
 
     # -- before local steps ---------------------------------------------
     def crashed(self, block: int) -> Set[int]:
         """Node ids down for this block (counted once per node-block)."""
         downed = self._compiled.crashed_nodes(block)
-        if downed:
-            self.record_fault("crash", len(downed))
+        for node_id in sorted(downed):
+            self.record_fault("crash", block=block, node=node_id)
         return downed
 
     def simulate_flaky(
@@ -117,10 +140,10 @@ class FaultInjector:
             fail_times = self._compiled.flaky.get((block, node_id), 0)
             if fail_times == 0:
                 continue
-            self.record_fault("flaky")
+            self.record_fault("flaky", block=block, node=node_id)
             retries = min(fail_times, self.policy.max_retries)
             if retries:
-                self.record_retry(retries)
+                self.record_retry(retries, block=block, node=node_id)
                 backoff[node_id] = sum(
                     self.policy.backoff_s(a) for a in range(retries)
                 )
@@ -155,7 +178,7 @@ class FaultInjector:
                 continue
             key = (block, node.node_id)
             if key in self._compiled.drops:
-                self.record_fault("drop")
+                self.record_fault("drop", block=block, node=node.node_id)
                 dropped.append(node)
                 continue
             corrupt = self._compiled.corrupts.get(key)
@@ -163,15 +186,20 @@ class FaultInjector:
                 node.params = self._corrupt_params(
                     node.params, corrupt, block, node.node_id
                 )
-                self.record_fault("corrupt")
+                self.record_fault("corrupt", block=block, node=node.node_id)
             plan_delay = self._compiled.delays.get(key, 0.0)
             if plan_delay:
-                self.record_fault("delay")
+                self.record_fault("delay", block=block, node=node.node_id)
                 delays[node.node_id] = delays.get(node.node_id, 0.0) + plan_delay
             available.append(node)
 
         kept, stragglers = self._apply_timeout(available, delays, steps)
+        events = self._tel.events
+        for node in stragglers:
+            events.emit("straggler_dropped", block=block, node=node.node_id)
         kept, quarantined = self._quarantine(kept)
+        for node in quarantined:
+            events.emit("quarantine", block=block, node=node.node_id)
         kept = self._enforce_floor(kept, stragglers, dropped, stale)
         if not kept:
             raise FaultToleranceError(

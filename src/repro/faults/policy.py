@@ -74,3 +74,14 @@ class ResiliencePolicy:
     def backoff_s(self, attempt: int) -> float:
         """Simulated backoff before retry ``attempt`` (0-indexed)."""
         return self.backoff_base_s * (2.0**attempt)
+
+    def describe(self) -> dict:
+        """JSON-ready summary for the run's ``run_start`` event."""
+        return {
+            "round_timeout_s": self.round_timeout_s,
+            "max_retries": self.max_retries,
+            "backoff_base_s": self.backoff_base_s,
+            "min_participants": self.min_participants,
+            "quarantine_nonfinite": self.quarantine_nonfinite,
+            "drop_on_failure": self.drop_on_failure,
+        }

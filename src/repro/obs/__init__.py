@@ -16,6 +16,17 @@ from .metrics import (
     Series,
     parse_prometheus,
 )
+from .dashboard import render_dashboard
+from .events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    RunRecord,
+    read_events,
+)
+from .regress import Regression, run_gate
 from .report import load_records, render_report, summarize
 from .sink import JsonlFileSink, MemorySink, StdoutSink, TelemetrySink
 from .telemetry import (
@@ -25,7 +36,16 @@ from .telemetry import (
     resolve,
     run_metadata,
 )
-from .tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    WorkerTrace,
+    reparent,
+)
 
 __all__ = [
     "Counter",
@@ -40,6 +60,19 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "TraceContext",
+    "WorkerTrace",
+    "reparent",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "RunRecord",
+    "read_events",
+    "render_dashboard",
+    "Regression",
+    "run_gate",
     "TelemetrySink",
     "JsonlFileSink",
     "StdoutSink",

@@ -1,0 +1,178 @@
+"""The unified run event log: one ordered stream per training run.
+
+Before this module existed a run's story was scattered: loss curves in the
+registry's series, timing in span records, fault counts in counters, and
+checkpoint state on disk.  The event log merges the *causality* — what
+happened, in what order, to which node — into a single versioned stream of
+``{"type": "event", ...}`` records emitted through the same
+:class:`~repro.obs.sink.TelemetrySink` as everything else, so a run's
+JSONL file doubles as its ``events.jsonl``.
+
+Schema (version :data:`EVENT_SCHEMA_VERSION`)::
+
+    {"type": "event", "v": 1, "seq": 17, "kind": "round_end",
+     "block": 3, "t": 20, "participants": 9}
+
+``seq`` is a per-run monotone sequence number assigned at emission time, so
+the stream is totally ordered even if records are later merged or sorted.
+``kind`` must be one of :data:`EVENT_KINDS`; every other field is
+kind-specific (catalogued in ``docs/OBSERVABILITY.md``).  Versioning
+policy: additive field changes keep ``v``; renaming/removing a field or
+changing a field's meaning bumps :data:`EVENT_SCHEMA_VERSION`, and readers
+must skip events with a newer major version than they understand.
+
+The engine and the fault subsystem treat :class:`EventLog` as their single
+event bus: the :class:`~repro.engine.round_engine.RoundEngine` emits the
+run/round lifecycle, executors emit per-node results and errors, and the
+:class:`~repro.faults.injector.FaultInjector` emits every fault decision —
+all through ``telemetry.events``, which is a shared no-op when telemetry
+is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "RunRecord",
+    "read_events",
+]
+
+#: Bump on any non-additive change to event record fields.
+EVENT_SCHEMA_VERSION = 1
+
+#: Closed set of event kinds (typos fail loudly at the emission site).
+EVENT_KINDS = frozenset(
+    {
+        "run_start",
+        "run_end",
+        "round_start",
+        "round_end",
+        "node_result",
+        "node_error",
+        "fault_injected",
+        "retry",
+        "quarantine",
+        "straggler_dropped",
+        "checkpoint",
+        "resume",
+        "cache_hit",
+    }
+)
+
+
+class EventLog:
+    """Orders and emits event records through a sink's ``emit``."""
+
+    def __init__(self, emit: Callable[[dict], None]) -> None:
+        self._emit = emit
+        self._seq = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append one event to the run stream (raises on unknown kind)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind '{kind}' (known: {sorted(EVENT_KINDS)})"
+            )
+        record: dict = {
+            "type": "event",
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self._seq,
+            "kind": kind,
+        }
+        record.update(fields)
+        self._seq += 1
+        self._emit(record)
+
+
+class NullEventLog:
+    """Disabled event log: the hot-path twin when telemetry is off."""
+
+    __slots__ = ()
+
+    def emit(self, kind: str, **fields: object) -> None:
+        return None
+
+
+NULL_EVENT_LOG = NullEventLog()
+
+
+def read_events(records: Sequence[dict]) -> List[dict]:
+    """Extract this reader's understood event records, in ``seq`` order.
+
+    Events carrying a newer schema version than this build understands are
+    skipped (the versioning policy above), never misinterpreted.
+    """
+    events = [
+        r
+        for r in records
+        if r.get("type") == "event"
+        and int(r.get("v", 0)) <= EVENT_SCHEMA_VERSION
+    ]
+    events.sort(key=lambda r: int(r.get("seq", 0)))
+    return events
+
+
+@dataclass
+class RunRecord:
+    """One run's telemetry JSONL parsed into its constituent streams.
+
+    The dashboard's (and any analysis tool's) single entry point: metadata
+    header, ordered events, span records, and final metric snapshots, all
+    from one file — no cross-referencing of separate outputs.
+    """
+
+    meta: Optional[dict] = None
+    events: List[dict] = field(default_factory=list)
+    spans: List[dict] = field(default_factory=list)
+    counters: List[dict] = field(default_factory=list)
+    gauges: List[dict] = field(default_factory=list)
+    histograms: List[dict] = field(default_factory=list)
+    series: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_records(cls, records: Sequence[dict]) -> "RunRecord":
+        run = cls()
+        buckets = {
+            "span": run.spans,
+            "counter": run.counters,
+            "gauge": run.gauges,
+            "histogram": run.histograms,
+            "series": run.series,
+        }
+        for record in records:
+            kind = record.get("type")
+            if kind == "meta":
+                run.meta = record
+            elif kind in buckets:
+                buckets[kind].append(record)
+        run.events = read_events(records)
+        return run
+
+    # -- convenience views used by the dashboard ------------------------
+    def events_of(self, *kinds: str) -> List[dict]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.get("kind") in wanted]
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Latest exported value of one counter (0.0 when absent)."""
+        value = 0.0
+        for record in self.counters:
+            if record.get("name") != name:
+                continue
+            if labels and record.get("labels", {}) != labels:
+                continue
+            value = float(record.get("value", 0.0))
+        return value
+
+    def find_series(self, name: str) -> Optional[dict]:
+        for record in self.series:
+            if record.get("name") == name:
+                return record
+        return None

@@ -30,12 +30,26 @@ class TelemetrySummary:
         self.gauges: List[dict] = []
         self.histograms: List[dict] = []
         self.series: List[dict] = []
+        #: event kind -> occurrence count (from the unified event stream)
+        self.events: "OrderedDict[str, int]" = OrderedDict()
         self.unknown: int = 0
+
+    @property
+    def spans_dropped(self) -> float:
+        """Ring-buffer evictions the run exported (0.0 when none)."""
+        return sum(
+            float(r.get("value", 0.0))
+            for r in self.counters
+            if r.get("name") == "obs_spans_dropped_total"
+        )
 
     def add(self, record: dict) -> None:
         kind = record.get("type")
         if kind == "meta":
             self.meta = record
+        elif kind == "event":
+            name = str(record.get("kind", "?"))
+            self.events[name] = self.events.get(name, 0) + 1
         elif kind == "span":
             entry = self.spans.setdefault(
                 record.get("name", "?"), {"count": 0, "total": 0.0, "max": 0.0}
@@ -124,6 +138,19 @@ def render_report(summary: TelemetrySummary) -> str:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
             lines.append(f"  config: {rendered}")
         sections.append("\n".join(lines))
+
+    dropped = summary.spans_dropped
+    if dropped:
+        sections.append(
+            f"WARNING: {int(dropped)} spans dropped from the trace ring "
+            "buffer (obs_spans_dropped_total) — the span table below is "
+            "incomplete; raise Telemetry(span_ring_size=...)"
+        )
+
+    if summary.events:
+        rows = list(summary.events.items())
+        rows.sort(key=lambda r: r[1], reverse=True)
+        sections.append("events\n" + _table(["kind", "count"], rows))
 
     if summary.spans:
         rows = [

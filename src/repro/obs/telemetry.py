@@ -22,9 +22,10 @@ import subprocess
 import time
 from typing import Optional
 
+from .events import NULL_EVENT_LOG, EventLog
 from .metrics import MetricRegistry
 from .sink import MemorySink, TelemetrySink
-from .tracing import NULL_TRACER, SpanRecord, Tracer
+from .tracing import NULL_TRACER, SpanRecord, TraceContext, Tracer
 
 __all__ = [
     "Telemetry",
@@ -84,11 +85,22 @@ class Telemetry:
             if tracer is not None
             else Tracer(ring_size=span_ring_size, on_close=self._emit_span)
         )
+        #: the run's ordered event stream (see :mod:`repro.obs.events`)
+        self.events = EventLog(self.sink.emit)
         self._closed = False
+        self._dropped_exported = 0
 
     # -- tracing --------------------------------------------------------
     def span(self, name: str, **attributes: object):
         return self.tracer.span(name, **attributes)
+
+    def trace_context(self, profile_tape: bool = False) -> TraceContext:
+        """Current trace position, picklable for executor workers."""
+        return TraceContext.capture(self.tracer, profile_tape=profile_tape)
+
+    def ingest_span(self, record: SpanRecord) -> None:
+        """Adopt a re-parented worker span: ring buffer + sink stream."""
+        self.tracer.ingest(record)
 
     def _emit_span(self, record: SpanRecord) -> None:
         self.sink.emit(record.to_dict())
@@ -118,6 +130,15 @@ class Telemetry:
 
     def flush(self) -> None:
         """Export the current metric state to the sink (one record each)."""
+        # Surface ring-buffer eviction before snapshotting so the dropped
+        # count rides along in the export.  Incremental (delta since the
+        # last flush) so repeated flushes never double-count.
+        dropped = self.tracer.spans_dropped
+        if dropped > self._dropped_exported:
+            self.registry.counter("obs_spans_dropped_total").inc(
+                dropped - self._dropped_exported
+            )
+            self._dropped_exported = dropped
         for record in self.registry.snapshot():
             self.sink.emit(record)
 
@@ -155,9 +176,17 @@ class NullTelemetry:
     __slots__ = ()
     _metric = _NullMetric()
     tracer = NULL_TRACER
+    events = NULL_EVENT_LOG
 
     def span(self, name: str, **attributes: object):
         return NULL_TRACER._span
+
+    def trace_context(self, profile_tape: bool = False) -> None:
+        """Disabled tracing propagates as ``None`` (workers skip capture)."""
+        return None
+
+    def ingest_span(self, record: SpanRecord) -> None:
+        return None
 
     def counter(self, name: str, **labels: str) -> _NullMetric:
         return self._metric

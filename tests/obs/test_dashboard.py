@@ -1,0 +1,112 @@
+"""HTML dashboard rendering: real run output, sparse input, warnings."""
+
+import re
+
+import pytest
+
+from repro.core import FedML, FedMLConfig
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.faults import FaultPlan, ResiliencePolicy
+from repro.engine import EngineOptions
+from repro.nn import LogisticRegression
+from repro.obs import MemorySink, Telemetry, render_dashboard
+from repro.obs.events import RunRecord
+
+
+@pytest.fixture(scope="module")
+def run_records():
+    fed = generate_synthetic(
+        SyntheticConfig(num_nodes=5, mean_samples=20, seed=1)
+    )
+    telemetry = Telemetry(sink=MemorySink())
+    telemetry.emit_metadata(config={"algorithm": "fedml"}, seed=0)
+    trainer = FedML(
+        LogisticRegression(60, 10),
+        FedMLConfig(
+            alpha=0.05, beta=0.05, t0=3, total_iterations=9, k=3, seed=0,
+            eval_every=1,
+        ),
+        telemetry=telemetry,
+        engine_options=EngineOptions(
+            faults=FaultPlan.from_spec("drop:rate=0.3", seed=3),
+            resilience=ResiliencePolicy(),
+        ),
+    )
+    trainer.fit(fed, list(range(5)))
+    telemetry.close()
+    return telemetry.sink.records
+
+
+class TestDashboardFromRealRun:
+    def test_renders_every_expected_section(self, run_records):
+        page = render_dashboard(RunRecord.from_records(run_records))
+        # self-contained: no external fetches of any kind
+        assert "<script src" not in page and "http" not in page.split("</style>")[0].replace("http-equiv", "")
+        assert page.startswith("<!DOCTYPE html>")
+
+        # KPI tiles
+        assert "Rounds" in page
+        assert "Uplink" in page
+        # loss curve + heatmap + fault timeline as SVG
+        assert "Global meta-loss" in page
+        assert "Local-train duration" in page
+        assert "Fault &amp; lifecycle timeline" in page
+        assert page.count("<svg") >= 3
+        # fault dots carry tooltips
+        assert "fault_injected" in page
+        # accessibility fallback: the history table exists
+        assert "Run history table" in page
+        assert "<table>" in page
+
+    def test_values_are_not_color_alone(self, run_records):
+        page = render_dashboard(RunRecord.from_records(run_records))
+        # end label on each line chart (direct label, ink-colored)
+        assert 'class="endlabel"' in page
+        # every heatmap cell has a text tooltip with the value
+        cells = re.findall(r"<rect[^>]*><title>([^<]+)</title>", page)
+        assert cells and all("ms" in c for c in cells)
+
+    def test_escapes_untrusted_strings(self, run_records):
+        page = render_dashboard(
+            RunRecord.from_records(run_records),
+            title='<script>alert("x")</script>',
+        )
+        assert "<script>alert" not in page
+        assert "&lt;script&gt;" in page
+
+
+class TestDashboardSparseInputs:
+    def test_empty_run_still_renders(self):
+        page = render_dashboard(RunRecord.from_records([]))
+        assert page.startswith("<!DOCTYPE html>")
+        assert "0 events" in page
+
+    def test_metrics_only_run_renders_series(self):
+        records = [
+            {"type": "series", "name": "loss", "labels": {},
+             "steps": [0, 5, 10], "values": [1.0, 0.6, 0.4]},
+        ]
+        page = render_dashboard(RunRecord.from_records(records))
+        assert "Training loss" in page
+        assert "<polyline" in page
+
+    def test_constant_series_has_no_degenerate_axis(self):
+        records = [
+            {"type": "series", "name": "loss", "labels": {},
+             "steps": [0, 1], "values": [2.0, 2.0]},
+        ]
+        page = render_dashboard(RunRecord.from_records(records))
+        assert "NaN" not in page
+
+    def test_spans_dropped_warning_banner(self):
+        records = [
+            {"type": "counter", "name": "obs_spans_dropped_total",
+             "labels": {}, "value": 17.0},
+        ]
+        page = render_dashboard(RunRecord.from_records(records))
+        assert "17 spans" in page
+        assert "span_ring_size" in page
+
+    def test_no_banner_when_nothing_dropped(self):
+        page = render_dashboard(RunRecord.from_records([]))
+        assert "spans dropped" not in page

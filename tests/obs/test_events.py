@@ -1,0 +1,115 @@
+"""The unified event log: ordering, validation, versioning, parsing."""
+
+import pytest
+
+from repro.obs import MemorySink, Telemetry
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    NULL_EVENT_LOG,
+    EventLog,
+    RunRecord,
+    read_events,
+)
+
+
+class TestEventLog:
+    def test_events_carry_schema_version_and_monotone_seq(self):
+        out = []
+        log = EventLog(out.append)
+        log.emit("round_start", block=0, t=0)
+        log.emit("node_result", node=2, block=0)
+        log.emit("round_end", block=0, t=5)
+        assert [e["seq"] for e in out] == [0, 1, 2]
+        assert all(e["type"] == "event" for e in out)
+        assert all(e["v"] == EVENT_SCHEMA_VERSION for e in out)
+        assert out[1]["kind"] == "node_result"
+        assert out[1]["node"] == 2
+
+    def test_unknown_kind_fails_loudly(self):
+        log = EventLog(lambda record: None)
+        with pytest.raises(ValueError, match="unknown event kind"):
+            log.emit("round_strat", block=0)
+
+    def test_every_documented_kind_is_emittable(self):
+        out = []
+        log = EventLog(out.append)
+        for kind in sorted(EVENT_KINDS):
+            log.emit(kind)
+        assert [e["kind"] for e in out] == sorted(EVENT_KINDS)
+
+    def test_null_log_is_silent_and_unvalidating(self):
+        # the disabled path must not pay for kind validation
+        assert NULL_EVENT_LOG.emit("whatever", x=1) is None
+
+    def test_telemetry_routes_events_to_its_sink(self):
+        telemetry = Telemetry(sink=MemorySink())
+        telemetry.events.emit("checkpoint", t=6, path="/tmp/ck.npz")
+        records = telemetry.sink.of_type("event")
+        assert len(records) == 1
+        assert records[0]["kind"] == "checkpoint"
+
+
+class TestReadEvents:
+    def test_orders_by_seq_and_filters_nonevents(self):
+        records = [
+            {"type": "counter", "name": "x", "value": 1},
+            {"type": "event", "v": 1, "seq": 2, "kind": "round_end"},
+            {"type": "event", "v": 1, "seq": 0, "kind": "run_start"},
+            {"type": "meta"},
+            {"type": "event", "v": 1, "seq": 1, "kind": "round_start"},
+        ]
+        kinds = [e["kind"] for e in read_events(records)]
+        assert kinds == ["run_start", "round_start", "round_end"]
+
+    def test_newer_schema_versions_are_skipped_not_misread(self):
+        records = [
+            {"type": "event", "v": 1, "seq": 0, "kind": "run_start"},
+            {
+                "type": "event",
+                "v": EVENT_SCHEMA_VERSION + 1,
+                "seq": 1,
+                "kind": "run_start",
+            },
+        ]
+        events = read_events(records)
+        assert len(events) == 1
+        assert events[0]["v"] == 1
+
+
+class TestRunRecord:
+    def _records(self):
+        return [
+            {"type": "meta", "seed": 7},
+            {"type": "event", "v": 1, "seq": 0, "kind": "run_start"},
+            {"type": "event", "v": 1, "seq": 1, "kind": "node_result",
+             "node": 0, "block": 0, "duration_s": 0.5},
+            {"type": "span", "name": "fit", "start": 0.0, "end": 1.0},
+            {"type": "counter", "name": "fl_rounds_total",
+             "labels": {"algorithm": "fedml"}, "value": 4.0},
+            {"type": "counter", "name": "fl_rounds_total",
+             "labels": {"algorithm": "fedavg"}, "value": 2.0},
+            {"type": "series", "name": "loss", "labels": {},
+             "steps": [0, 1], "values": [1.0, 0.5]},
+        ]
+
+    def test_buckets_every_stream(self):
+        run = RunRecord.from_records(self._records())
+        assert run.meta["seed"] == 7
+        assert [e["kind"] for e in run.events] == ["run_start", "node_result"]
+        assert len(run.spans) == 1
+        assert len(run.counters) == 2
+        assert run.find_series("loss")["values"] == [1.0, 0.5]
+        assert run.find_series("missing") is None
+
+    def test_counter_value_respects_labels(self):
+        run = RunRecord.from_records(self._records())
+        assert run.counter_value("fl_rounds_total", algorithm="fedml") == 4.0
+        # unlabelled lookup returns the last matching export
+        assert run.counter_value("fl_rounds_total") == 2.0
+        assert run.counter_value("nope") == 0.0
+
+    def test_events_of_filters_by_kind(self):
+        run = RunRecord.from_records(self._records())
+        assert len(run.events_of("node_result")) == 1
+        assert run.events_of("fault_injected") == []

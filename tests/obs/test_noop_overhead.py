@@ -64,3 +64,65 @@ def test_noop_span_returns_shared_object():
     b = NULL_TELEMETRY.span("y", attr=1)
     assert a is b
     assert NULL_TELEMETRY.counter("c") is NULL_TELEMETRY.gauge("g")
+
+
+class _CountingStrategy:
+    """Minimal strategy: counts local steps, needs no model or data."""
+
+    def __init__(self):
+        self.steps = 0
+
+    def bind_node_rng(self, rng):
+        self.rng = rng
+
+    def local_step(self, node):
+        self.steps += 1
+
+
+class _StubNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.params = None
+        self.local_steps = 0
+        self.gradient_evaluations = 0
+
+
+def test_disabled_serial_run_block_reads_no_clock(monkeypatch):
+    # With telemetry off the executor must run the bare pre-observability
+    # loop: zero perf_counter reads, zero span/event bookkeeping.
+    from repro.engine import SerialExecutor, executors
+
+    reads = {"count": 0}
+    real = executors.time.perf_counter
+
+    def counting_clock():
+        reads["count"] += 1
+        return real()
+
+    monkeypatch.setattr(executors.time, "perf_counter", counting_clock)
+    strategy = _CountingStrategy()
+    SerialExecutor().run_block(
+        strategy,
+        [_StubNode(i) for i in range(4)],
+        3,
+        block_index=0,
+        base_seed=0,
+        telemetry=None,
+    )
+    assert strategy.steps == 12
+    assert reads["count"] == 0
+
+
+def test_disabled_worker_entry_ships_no_trace():
+    # The parent captures no TraceContext when telemetry is off, so the
+    # worker entry point must skip the collector entirely and return no
+    # WorkerTrace bundle.
+    from repro.engine.executors import _run_node_block
+
+    assert NULL_TELEMETRY.trace_context() is None
+    strategy = _CountingStrategy()
+    params, steps, gevals, worker = _run_node_block(
+        strategy, _StubNode(0), 3, [0, 0, 0], trace=None
+    )
+    assert strategy.steps == 3
+    assert worker is None

@@ -1,0 +1,72 @@
+"""Prometheus exposition correctness: escaping and histogram semantics."""
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricRegistry
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_are_escaped(self):
+        registry = MetricRegistry()
+        registry.counter(
+            "findings_total", path='C:\\repo\n"src"'
+        ).inc()
+        line = registry.to_prometheus().splitlines()[-1]
+        # backslash first, then quote, then newline — each escaped once
+        assert line == (
+            'findings_total{path="C:\\\\repo\\n\\"src\\""} 1'
+        )
+
+    def test_backslash_before_quote_ordering(self):
+        # escaping the quote first would double-escape its backslash
+        registry = MetricRegistry()
+        registry.counter("c", v='\\"').inc()
+        line = registry.to_prometheus().splitlines()[-1]
+        assert '\\\\\\"' in line
+
+    def test_plain_labels_unchanged(self):
+        registry = MetricRegistry()
+        registry.counter("c", algorithm="fedml").inc(3)
+        assert 'c{algorithm="fedml"} 3' in registry.to_prometheus()
+
+
+class TestHistogramExposition:
+    def test_inf_bucket_equals_count(self):
+        hist = Histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        lines = hist.expose()
+        inf_line = next(l for l in lines if 'le="+Inf"' in l)
+        count_line = next(l for l in lines if l.startswith("lat_seconds_count"))
+        assert inf_line.endswith(" 4")
+        assert count_line.endswith(" 4")
+
+    def test_bucket_counts_are_cumulative_and_monotone(self):
+        hist = Histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 5.0, 500.0):
+            hist.observe(value)
+        lines = hist.expose()
+        bucket_values = [
+            int(l.rsplit(" ", 1)[1]) for l in lines if "_bucket" in l
+        ]
+        # le=0.1 -> 2, le=1.0 -> 3, le=10.0 -> 4, +Inf -> 5
+        assert bucket_values == [2, 3, 4, 5]
+        assert bucket_values == sorted(bucket_values)
+
+    def test_observation_on_edge_lands_in_its_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)  # le semantics: <= 1.0
+        assert hist.bucket_counts == [1, 1]
+
+    def test_sum_line_carries_total(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(0.25)
+        hist.observe(0.5)
+        sum_line = next(l for l in hist.expose() if l.startswith("h_sum"))
+        assert sum_line == "h_sum 0.75"
+
+    def test_default_buckets_expose_in_registry_roundtrip(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("round_seconds", algorithm="fedml")
+        hist.observe(0.3)
+        text = registry.to_prometheus()
+        assert text.count("round_seconds_bucket") == len(DEFAULT_BUCKETS) + 1
+        assert 'le="+Inf"' in text

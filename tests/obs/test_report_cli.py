@@ -71,6 +71,22 @@ class TestTelemetryOut:
         assert "invalid JSON" in capsys.readouterr().err
 
 
+class TestSpansDroppedWarning:
+    def test_report_warns_when_spans_were_dropped(self):
+        records = [
+            {"type": "counter", "name": "obs_spans_dropped_total",
+             "labels": {}, "value": 9.0},
+        ]
+        text = render_report(summarize(records))
+        assert "WARNING: 9 spans dropped" in text
+        assert "obs_spans_dropped_total" in text
+        assert "span_ring_size" in text
+
+    def test_no_warning_on_clean_run(self, telemetry_file):
+        text = render_report(summarize(load_records(telemetry_file)))
+        assert "WARNING" not in text
+
+
 class TestReportModule:
     def test_summarize_aggregates_spans_by_name(self):
         records = [

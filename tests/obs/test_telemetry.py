@@ -43,6 +43,21 @@ class TestFacade:
         telemetry.flush()
         assert {r["name"] for r in sink.records} == {"c", "g"}
 
+    def test_flush_exports_spans_dropped_incrementally(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, span_ring_size=2)
+        for i in range(5):
+            with telemetry.span(f"s{i}"):
+                pass
+        telemetry.flush()
+        assert telemetry.registry.counter("obs_spans_dropped_total").value == 3
+
+        # more evictions between flushes add only the new drops
+        with telemetry.span("s5"):
+            pass
+        telemetry.flush()
+        assert telemetry.registry.counter("obs_spans_dropped_total").value == 4
+
     def test_close_flushes_and_closes_once(self):
         sink = MemorySink()
         telemetry = Telemetry(sink=sink)
