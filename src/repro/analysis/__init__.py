@@ -5,18 +5,30 @@ machine-checked:
 
 ``reprolint`` (static)
     An AST linter with repo-specific rules — RNG discipline, autodiff
-    hygiene, telemetry purity — plus generic hygiene rules.  See
-    :mod:`repro.analysis.engine` and the rule modules.
+    hygiene, telemetry purity, and the dataflow-powered DET determinism
+    family — plus generic hygiene rules.  See :mod:`repro.analysis.engine`,
+    :mod:`repro.analysis.dataflow` and the rule modules.
 
 graph sanitizer (dynamic)
     Shape/dtype replay over recorded graphs, a double-backward audit that
     covers every registered op, and a retained-graph leak detector.  See
     :mod:`repro.analysis.sanitizer`.
 
-Both surface through the CLI (``repro lint``, ``repro check-graph``) and the
-tier-1 pytest gate; the rule catalog lives in ``docs/STATIC_ANALYSIS.md``.
+determinism checker (dynamic)
+    An RNG-stream ledger plus a run-twice divergence bisector
+    (``repro check-determinism``) that localizes the first diverging
+    ``(round, block, node, metric)``.  See
+    :mod:`repro.analysis.determinism` and :mod:`repro.analysis.divergence`.
+
+All surface through the CLI (``repro lint``, ``repro check-graph``,
+``repro check-determinism``) and the tier-1 pytest gate; the rule catalog
+lives in ``docs/STATIC_ANALYSIS.md``.
 """
 
+from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from .dataflow import ModuleDataflow, Taint
+from .determinism import RngLedger, install_ledger, uninstall_ledger
+from .divergence import DivergencePoint, RunFingerprint, compare_runs
 from .engine import LintReport, iter_python_files, lint_paths, lint_source
 from .findings import Finding, Severity, Suppressions, parse_suppressions
 from .rules import REGISTRY, FileContext, LintRule, default_rules, register
@@ -37,6 +49,18 @@ __all__ = [
     "Severity",
     "Suppressions",
     "parse_suppressions",
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "write_baseline",
+    "ModuleDataflow",
+    "Taint",
+    "RngLedger",
+    "install_ledger",
+    "uninstall_ledger",
+    "DivergencePoint",
+    "RunFingerprint",
+    "compare_runs",
     "FileContext",
     "LintRule",
     "REGISTRY",

@@ -1,0 +1,524 @@
+"""A small intraprocedural dataflow engine for determinism analysis.
+
+The DET1xx rule family (:mod:`repro.analysis.rules_determinism`) needs more
+than per-node AST pattern matching: whether a wall-clock read *reaches a
+branch*, or a ``set`` *feeds a reduction*, is a property of how values flow
+through assignments, calls, and returns.  This module provides that flow
+analysis as a reusable layer:
+
+* **Taint sources.**  Expressions that introduce a determinism hazard are
+  labelled: :data:`ENTROPY` (unseeded randomness), :data:`WALLCLOCK`
+  (time reads), :data:`UNORDERED` (set-like iteration order),
+  :data:`IDENTITY` (``id()``/``hash()`` values, unstable across processes).
+* **Propagation.**  Labels flow through assignments (weak updates — a name
+  keeps every label it ever held), augmented assignments, tuple unpacking,
+  ``for``/``with`` targets, arithmetic/boolean expressions, comprehensions,
+  calls (argument taint reaches the result), and — for functions defined at
+  module level — through ``return`` into call sites in the same module.
+* **Sanitizers.**  Order-independent consumers strip :data:`UNORDERED`:
+  ``sorted``/``min``/``max``/``len``/``any``/``all`` and comparison results
+  (membership tests do not depend on iteration order).
+* **Def-use chains.**  Every definition site is recorded per scope, and each
+  taint label remembers the line that introduced it, so findings can point
+  at *both* the sink and the origin.
+
+The analysis is deliberately an over-approximation (weak updates, flow
+order ignored): it may taint a name that was later rebound to something
+clean.  That keeps it *monotone* — adding an unrelated statement can never
+remove a finding (property-tested in ``tests/analysis``) — which is the
+right contract for a lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ENTROPY",
+    "WALLCLOCK",
+    "UNORDERED",
+    "IDENTITY",
+    "Taint",
+    "Scope",
+    "ModuleDataflow",
+    "dotted",
+    "scope_statements",
+    "stmt_expressions",
+]
+
+#: Unseeded/OS randomness: ``os.urandom``, argless ``default_rng()``, ...
+ENTROPY = "entropy"
+#: Wall-clock reads: ``time.time()``, ``datetime.now()``, ...
+WALLCLOCK = "wallclock"
+#: Values whose iteration order is not deterministic: sets, ``os.listdir``.
+UNORDERED = "unordered"
+#: Process-local object identity: ``id()`` and default ``hash()``.
+IDENTITY = "identity"
+
+_ALL_LABELS = (ENTROPY, WALLCLOCK, UNORDERED, IDENTITY)
+
+#: ``np.random`` attributes that construct explicit (seedable) state rather
+#: than drawing from hidden global state.
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_WALLCLOCK_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+    }
+)
+_WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: Builtins whose result does not depend on the argument's iteration order.
+_ORDER_SANITIZERS = frozenset({"sorted", "len", "min", "max", "any", "all"})
+
+#: Calls that *introduce* unordered iteration order.
+_UNORDERED_CALLS = frozenset({"set", "frozenset"})
+_UNORDERED_OS_CALLS = frozenset({"listdir", "scandir"})
+
+
+def dotted(node: ast.AST) -> List[str]:
+    """Flatten an attribute chain rooted at a plain name; else ``[]``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return list(reversed(parts))
+    return []
+
+
+def stmt_expressions(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The expressions owned by one statement, and nothing deeper.
+
+    Child *statements* are excluded (``scope_statements`` already yields
+    them individually), as are nested function/class definitions — so a
+    rule that pairs ``scope_statements`` with this helper visits every
+    expression in a scope exactly once.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield child
+        elif isinstance(child, ast.withitem):
+            yield child.context_expr
+            if child.optional_vars is not None:
+                yield child.optional_vars
+
+
+@dataclass
+class Taint:
+    """A set of hazard labels, each remembering its introducing line."""
+
+    origins: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> Set[str]:
+        return set(self.origins)
+
+    def has(self, label: str) -> bool:
+        return label in self.origins
+
+    def origin(self, label: str) -> int:
+        return self.origins.get(label, 0)
+
+    def merged(self, other: "Taint") -> "Taint":
+        merged = dict(other.origins)
+        # Keep the *earliest* introducing line per label: findings should
+        # point at the first origin, and earliest-wins keeps merge order
+        # irrelevant (the engine iterates to a fixpoint).
+        for label, line in self.origins.items():
+            if label not in merged or line < merged[label]:
+                merged[label] = line
+        return Taint(merged)
+
+    def without(self, label: str) -> "Taint":
+        if label not in self.origins:
+            return self
+        remaining = dict(self.origins)
+        remaining.pop(label)
+        return Taint(remaining)
+
+    def merge_into(self, env: Dict[str, "Taint"], name: str) -> bool:
+        """Weak update of ``env[name]``; True when anything changed."""
+        existing = env.get(name)
+        if existing is None:
+            if not self.origins:
+                return False
+            env[name] = Taint(dict(self.origins))
+            return True
+        merged = existing.merged(self)
+        if merged.origins != existing.origins:
+            env[name] = merged
+            return True
+        return False
+
+    @property
+    def empty(self) -> bool:
+        return not self.origins
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{label}@{line}" for label, line in sorted(self.origins.items())
+        )
+        return f"Taint({inner})"
+
+
+_EMPTY = Taint()
+
+
+@dataclass
+class Definition:
+    """One assignment to a name (the def half of the def-use chain)."""
+
+    name: str
+    line: int
+    taint: Taint
+
+
+@dataclass
+class Scope:
+    """One analyzed scope: the module body or one function/lambda body."""
+
+    node: ast.AST
+    name: str
+    env: Dict[str, Taint] = field(default_factory=dict)
+    defs: List[Definition] = field(default_factory=list)
+    return_taint: Taint = field(default_factory=Taint)
+
+    def taint_of(self, name: str) -> Taint:
+        return self.env.get(name, _EMPTY)
+
+    def uses(self, name: str) -> List[ast.Name]:
+        """All Load-context reads of ``name`` in this scope."""
+        found: List[ast.Name] = []
+        for stmt in scope_statements(self.node):
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Name)
+                    and node.id == name
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    found.append(node)
+        return found
+
+
+def scope_statements(scope_node: ast.AST) -> Iterator[ast.stmt]:
+    """Statements executed *in* a scope, not descending into nested defs.
+
+    Class bodies are treated as part of the enclosing scope (their
+    statements run at definition time); function/lambda bodies are not.
+    """
+    body = getattr(scope_node, "body", [])
+    if isinstance(body, ast.expr):  # Lambda body is an expression
+        return
+    stack: List[ast.stmt] = list(body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested scope: analyzed separately
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(
+                child, (ast.ExceptHandler, ast.match_case)
+            ) or hasattr(child, "body"):
+                stack.extend(
+                    grand
+                    for grand in ast.iter_child_nodes(child)
+                    if isinstance(grand, ast.stmt)
+                )
+
+
+class ModuleDataflow:
+    """Per-module taint analysis: one :class:`Scope` per function + module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.scopes: List[Scope] = []
+        #: return-taint summaries for functions defined at module level,
+        #: keyed by plain name — how taint flows through local calls.
+        self.summaries: Dict[str, Taint] = {}
+        self._analyze()
+
+    # -- construction ---------------------------------------------------
+    def _analyze(self) -> None:
+        function_nodes: List[Tuple[ast.AST, str]] = [(self.tree, "<module>")]
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                function_nodes.append((node, node.name))
+        self.scopes = [Scope(node=n, name=name) for n, name in function_nodes]
+        # Two rounds so module-level function summaries computed in round
+        # one can inform call sites analyzed in round two (propagation
+        # through returns); a second round is a fixpoint for non-recursive
+        # call chains in definition order or not.
+        module_level_funcs = {
+            stmt.name
+            for stmt in self.tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for _ in range(2):
+            for scope in self.scopes:
+                self._solve_scope(scope)
+                if scope.name in module_level_funcs and isinstance(
+                    scope.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    self.summaries[scope.name] = scope.return_taint
+
+    def _solve_scope(self, scope: Scope) -> None:
+        """Iterate weak updates over the scope's bindings to a fixpoint."""
+        scope.env = {}
+        scope.defs = []
+        statements = list(scope_statements(scope.node))
+        changed = True
+        passes = 0
+        while changed and passes < 10:
+            changed = False
+            passes += 1
+            record_defs = passes == 1
+            for stmt in statements:
+                changed |= self._flow_stmt(stmt, scope, record_defs)
+        returns = Taint()
+        for stmt in statements:
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                returns = returns.merged(self.expr_taint(stmt.value, scope.env))
+        scope.return_taint = returns
+
+    def _flow_stmt(
+        self, stmt: ast.stmt, scope: Scope, record_defs: bool
+    ) -> bool:
+        env = scope.env
+        changed = False
+
+        def bind(target: ast.expr, taint: Taint) -> None:
+            nonlocal changed
+            if isinstance(target, ast.Name):
+                if record_defs:
+                    scope.defs.append(
+                        Definition(target.id, target.lineno, taint)
+                    )
+                changed |= taint.merge_into(env, target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    inner = element
+                    if isinstance(inner, ast.Starred):
+                        inner = inner.value
+                    bind(inner, taint)
+            # Attribute/Subscript stores: the container, not a name, absorbs
+            # the taint; rules inspect those sites directly.
+
+        if isinstance(stmt, ast.Assign):
+            taint = self.expr_taint(stmt.value, env)
+            for target in stmt.targets:
+                bind(target, taint)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            bind(stmt.target, self.expr_taint(stmt.value, env))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.expr_taint(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                taint = taint.merged(env.get(stmt.target.id, _EMPTY))
+            bind(stmt.target, taint)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            bind(stmt.target, self.expr_taint(stmt.iter, env))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    bind(
+                        item.optional_vars,
+                        self.expr_taint(item.context_expr, env),
+                    )
+        return changed
+
+    # -- expression evaluation ------------------------------------------
+    def expr_taint(
+        self, expr: ast.expr, env: Dict[str, Taint]
+    ) -> Taint:
+        """The labels carried by ``expr`` under the (final) environment."""
+        taint = self._introduced(expr, env)
+        if isinstance(expr, ast.Name):
+            return taint.merged(env.get(expr.id, _EMPTY))
+        if isinstance(expr, ast.Call):
+            return self._call_taint(expr, env, taint)
+        if isinstance(expr, ast.Compare):
+            # Comparison results (incl. membership) are order-independent:
+            # `x in s` does not depend on s's iteration order.
+            merged = taint
+            for operand in [expr.left, *expr.comparators]:
+                merged = merged.merged(self.expr_taint(operand, env))
+            return merged.without(UNORDERED)
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._comprehension_taint(expr, env, taint)
+        if isinstance(expr, ast.Lambda):
+            return taint  # calling through a variable is out of scope
+        merged = taint
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                merged = merged.merged(self.expr_taint(child, env))
+        return merged
+
+    def _introduced(self, expr: ast.expr, env: Dict[str, Taint]) -> Taint:
+        """Labels this very node introduces (not its children)."""
+        line = getattr(expr, "lineno", 0)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return Taint({UNORDERED: line})
+        if isinstance(expr, ast.Call):
+            labels: Dict[str, int] = {}
+            parts = dotted(expr.func)
+            if self.is_entropy_call(expr):
+                labels[ENTROPY] = line
+            if parts and self._is_wallclock(parts):
+                labels[WALLCLOCK] = line
+            if parts and self._is_unordered_call(parts):
+                labels[UNORDERED] = line
+            if (
+                isinstance(expr.func, ast.Name)
+                and expr.func.id in ("id", "hash")
+                and expr.args
+            ):
+                labels[IDENTITY] = line
+            return Taint(labels)
+        if isinstance(expr, ast.Attribute):
+            parts = dotted(expr)
+            if parts and self._is_wallclock(parts):
+                # A bare reference (``clock = time.perf_counter``) taints
+                # the name; the read happens wherever it is called.
+                return Taint({WALLCLOCK: line})
+        return _EMPTY
+
+    def _call_taint(
+        self, call: ast.Call, env: Dict[str, Taint], introduced: Taint
+    ) -> Taint:
+        parts = dotted(call.func)
+        arg_taint = _EMPTY
+        for arg in call.args:
+            inner = arg.value if isinstance(arg, ast.Starred) else arg
+            arg_taint = arg_taint.merged(self.expr_taint(inner, env))
+        for kw in call.keywords:
+            arg_taint = arg_taint.merged(self.expr_taint(kw.value, env))
+        # Receiver taint flows through method calls (s.union(t), g.normal()).
+        receiver = _EMPTY
+        if isinstance(call.func, ast.Attribute):
+            receiver = self.expr_taint(call.func.value, env)
+        # Calling a tainted callable yields a tainted value
+        # (clock = time.perf_counter; clock()).
+        func_name_taint = _EMPTY
+        if isinstance(call.func, ast.Name):
+            func_name_taint = env.get(call.func.id, _EMPTY)
+            summary = self.summaries.get(call.func.id)
+            if summary is not None:
+                func_name_taint = func_name_taint.merged(summary)
+        result = (
+            introduced.merged(arg_taint)
+            .merged(receiver)
+            .merged(func_name_taint)
+        )
+        if len(parts) == 1 and parts[0] in _ORDER_SANITIZERS:
+            result = result.without(UNORDERED)
+        return result
+
+    def _comprehension_taint(
+        self, expr: ast.expr, env: Dict[str, Taint], introduced: Taint
+    ) -> Taint:
+        overlay = dict(env)
+        cond_taint = _EMPTY
+        for generator in expr.generators:  # type: ignore[attr-defined]
+            iter_taint = self.expr_taint(generator.iter, overlay)
+            for name in _target_names(generator.target):
+                existing = overlay.get(name, _EMPTY)
+                overlay[name] = existing.merged(iter_taint)
+            for condition in generator.ifs:
+                # Selection by a condition is order-independent, but other
+                # hazards (entropy, wall clock) in the condition shape the
+                # result.
+                cond_taint = cond_taint.merged(
+                    self.expr_taint(condition, overlay).without(UNORDERED)
+                )
+        if isinstance(expr, ast.DictComp):
+            element = self.expr_taint(expr.key, overlay).merged(
+                self.expr_taint(expr.value, overlay)
+            )
+        else:
+            element = self.expr_taint(
+                expr.elt, overlay  # type: ignore[attr-defined]
+            )
+        return introduced.merged(element).merged(cond_taint)
+
+    # -- source classifiers (shared with the DET rules) ------------------
+    @staticmethod
+    def is_entropy_call(call: ast.Call) -> bool:
+        """True when ``call`` draws entropy that no config seed controls."""
+        parts = dotted(call.func)
+        if not parts:
+            return False
+        if parts == ["os", "urandom"]:
+            return True
+        if parts[0] == "secrets":
+            return True
+        if parts == ["uuid", "uuid4"]:
+            return True
+        if parts[-1] == "default_rng" and not call.args and not call.keywords:
+            # Argless default_rng() seeds from OS entropy.
+            return True
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] not in _NP_RANDOM_CONSTRUCTORS
+        ):
+            return True
+        if len(parts) == 2 and parts[0] == "random":
+            return True
+        return False
+
+    @staticmethod
+    def _is_wallclock(parts: Sequence[str]) -> bool:
+        if len(parts) == 2 and parts[0] == "time":
+            return parts[1] in _WALLCLOCK_TIME_FNS
+        if "datetime" in parts or "date" in parts:
+            return parts[-1] in _WALLCLOCK_DATETIME_FNS
+        return False
+
+    @staticmethod
+    def _is_unordered_call(parts: Sequence[str]) -> bool:
+        if len(parts) == 1 and parts[0] in _UNORDERED_CALLS:
+            return True
+        if len(parts) == 2 and parts[0] == "os":
+            return parts[1] in _UNORDERED_OS_CALLS
+        if parts[-1:] == ["glob"] and parts[0] in ("glob", "pathlib"):
+            return True
+        return False
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    names: List[str] = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+    return names

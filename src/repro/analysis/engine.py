@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .baseline import Baseline
 from .findings import Finding, Severity, parse_suppressions, sort_findings
 from .rules import FileContext, LintRule, default_rules
 
@@ -37,6 +38,7 @@ class LintReport:
     files_scanned: int = 0
     rules_run: int = 0
     suppressed: int = 0
+    baselined: int = 0
     parse_errors: List[Finding] = field(default_factory=list)
 
     @property
@@ -69,7 +71,8 @@ class LintReport:
         lines.append(
             f"reprolint: {status} — {self.files_scanned} files, "
             f"{self.rules_run} rules, {self.errors} errors, "
-            f"{self.warnings} warnings, {self.suppressed} suppressed"
+            f"{self.warnings} warnings, {self.suppressed} suppressed, "
+            f"{self.baselined} baselined"
         )
         return "\n".join(lines)
 
@@ -81,6 +84,7 @@ class LintReport:
             "errors": self.errors,
             "warnings": self.warnings,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
             "by_rule": self.by_rule(),
             "findings": [f.to_dict() for f in sort_findings(self.all_findings)],
         }
@@ -115,11 +119,12 @@ def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[LintRule]] = None,
+    baseline: Optional[Baseline] = None,
 ) -> LintReport:
     """Lint one in-memory source blob (the unit the tests exercise)."""
     active = list(rules) if rules is not None else default_rules()
     report = LintReport(rules_run=len(active))
-    _lint_one(source, Path(path), path, active, report)
+    _lint_one(source, Path(path), path, active, report, baseline)
     report.files_scanned = 1
     return report
 
@@ -127,8 +132,13 @@ def lint_source(
 def lint_paths(
     paths: Sequence[str | Path],
     rules: Optional[Sequence[LintRule]] = None,
+    baseline: Optional[Baseline] = None,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` with the given (or all) rules."""
+    """Lint every Python file under ``paths`` with the given (or all) rules.
+
+    Findings matched by ``baseline`` are counted (``report.baselined``)
+    instead of failing the gate — see :mod:`repro.analysis.baseline`.
+    """
     active = list(rules) if rules is not None else default_rules()
     report = LintReport(rules_run=len(active))
     for file_path in iter_python_files(paths):
@@ -145,7 +155,7 @@ def lint_paths(
                 )
             )
             continue
-        _lint_one(source, file_path, str(file_path), active, report)
+        _lint_one(source, file_path, str(file_path), active, report, baseline)
         report.files_scanned += 1
     return report
 
@@ -156,6 +166,7 @@ def _lint_one(
     display_path: str,
     rules: Sequence[LintRule],
     report: LintReport,
+    baseline: Optional[Baseline] = None,
 ) -> None:
     try:
         tree = ast.parse(source, filename=display_path)
@@ -179,5 +190,7 @@ def _lint_one(
         for finding in rule.check(ctx):
             if suppressions.is_suppressed(finding.rule_id, finding.line):
                 report.suppressed += 1
+            elif baseline is not None and baseline.matches(finding):
+                report.baselined += 1
             else:
                 report.findings.append(finding)

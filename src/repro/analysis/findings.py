@@ -11,6 +11,10 @@ Suppressions use ``reprolint`` comment directives:
   ``all``) for that line only;
 * ``# reprolint: disable-file=RNG001`` anywhere in a file suppresses the
   listed rules for the whole file.
+
+Rule names may end in ``*`` to match a whole family by prefix
+(``# reprolint: disable=DET1*`` suppresses DET101..DET105), and comma lists
+tolerate whitespace (``disable=RNG001, DET101``).
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ __all__ = [
 
 _DIRECTIVE = re.compile(
     r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*"
-    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?P<rules>[A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
 )
 
 #: Sentinel rule name matching every rule in a directive.
@@ -87,16 +91,26 @@ class Suppressions:
     line_rules: Dict[int, Set[str]] = field(default_factory=dict)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
-        if ALL_RULES in self.file_rules or rule_id in self.file_rules:
+        if _matches(rule_id, self.file_rules):
             return True
         at_line = self.line_rules.get(line)
         if at_line is None:
             return False
-        return ALL_RULES in at_line or rule_id in at_line
+        return _matches(rule_id, at_line)
 
     @property
     def empty(self) -> bool:
         return not self.file_rules and not self.line_rules
+
+
+def _matches(rule_id: str, rules: Set[str]) -> bool:
+    """True when ``rules`` names ``rule_id``, ``all``, or a ``*`` family."""
+    if ALL_RULES in rules or rule_id in rules:
+        return True
+    return any(
+        pattern.endswith("*") and rule_id.startswith(pattern[:-1])
+        for pattern in rules
+    )
 
 
 def parse_suppressions(lines: Sequence[str]) -> Suppressions:

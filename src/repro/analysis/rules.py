@@ -15,9 +15,12 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Sequence, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Type
 
 from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dataflow import ModuleDataflow
 
 __all__ = [
     "FileContext",
@@ -40,6 +43,7 @@ class FileContext:
     display_path: str
     tree: ast.Module
     lines: Sequence[str]
+    _dataflow: Optional["ModuleDataflow"] = None
 
     @property
     def in_src(self) -> bool:
@@ -48,6 +52,14 @@ class FileContext:
     @property
     def in_autodiff(self) -> bool:
         return "autodiff" in self.path.parts
+
+    def dataflow(self) -> "ModuleDataflow":
+        """The file's taint analysis, computed once and shared by rules."""
+        if self._dataflow is None:
+            from .dataflow import ModuleDataflow
+
+            self._dataflow = ModuleDataflow(self.tree)
+        return self._dataflow
 
 
 class LintRule:
@@ -90,7 +102,13 @@ def register(cls: Type[LintRule]) -> Type[LintRule]:
 
 def default_rules() -> List[LintRule]:
     """One instance of every registered rule (registration is import-driven)."""
-    from . import rules_autodiff, rules_engine, rules_rng, rules_telemetry  # noqa: F401
+    from . import (  # noqa: F401
+        rules_autodiff,
+        rules_determinism,
+        rules_engine,
+        rules_rng,
+        rules_telemetry,
+    )
 
     return [cls() for cls in REGISTRY.values()]
 

@@ -43,11 +43,13 @@ def collect_vjp_closures(tree: ast.Module) -> List[ast.AST]:
     inside a ``make_vjp*`` factory.
     """
     closures: List[ast.AST] = []
-    seen: Set[int] = set()
+    # AST nodes hash by object identity, so a plain node set de-duplicates
+    # without reaching for id() (which DET104 rightly flags).
+    seen: Set[ast.AST] = set()
 
     def add(node: ast.AST) -> None:
-        if id(node) not in seen:
-            seen.add(id(node))
+        if node not in seen:
+            seen.add(node)
             closures.append(node)
 
     for node in ast.walk(tree):

@@ -74,9 +74,9 @@ class TelemetryInLoopRule(LintRule):
         # Scan only outermost loops: ``_scan`` recurses into nested loops
         # itself (preserving guard context), so starting at each one would
         # report the same call twice.
-        nested = {id(inner) for loop in loops for inner in _inner_loops(loop)}
+        nested = {inner for loop in loops for inner in _inner_loops(loop)}
         for loop in loops:
-            if id(loop) in nested:
+            if loop in nested:
                 continue
             for stmt in loop.body + loop.orelse:
                 yield from self._scan(ctx, stmt, guarded=False)

@@ -30,8 +30,18 @@ Gate benchmark results against the committed performance baselines
 Run the repo-specific linter and the autodiff graph sanitizer (both exit
 non-zero on findings; rule catalog in ``docs/STATIC_ANALYSIS.md``)::
 
-    python -m repro.cli lint src benchmarks examples
+    python -m repro.cli lint --baseline analysis/baseline.json \
+        src benchmarks examples
     python -m repro.cli check-graph --json
+
+Audit a config's determinism contract end-to-end (runs it twice — serial
+vs serial and serial vs parallel — and bisects the first diverging
+``(round, block, node)`` from the event log; ``docs/TESTING.md``)::
+
+    python -m repro.cli check-determinism --algorithm fedml --nodes 10
+    python -m repro.cli check-determinism --algorithm all --compare both
+    python -m repro.cli check-determinism --algorithm fedml \
+        --plant-entropy block=1,node=3   # planted bug: exits 1, localized
 """
 
 from __future__ import annotations
@@ -381,11 +391,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import lint_paths
+    from .analysis import lint_paths, load_baseline
 
+    baseline = None
+    baseline_path = getattr(args, "baseline", None)
+    if baseline_path:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
     telemetry = _build_telemetry(args)
     start = time.perf_counter()
-    report = lint_paths(args.paths)
+    report = lint_paths(args.paths, baseline=baseline)
     elapsed = time.perf_counter() - start
     if telemetry is not None:
         registry = telemetry.registry
@@ -479,6 +497,194 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+_ALL_ALGORITHMS = (
+    "fedml", "robust-fedml", "fedavg", "fedprox", "reptile", "meta-sgd",
+    "adml",
+)
+
+
+def _parse_plant_spec(spec: str) -> "tuple[int, int]":
+    """``block=B,node=N`` -> (B, N); raises ValueError on malformed input."""
+    fields = {}
+    for part in spec.split(","):
+        key, _, value = part.strip().partition("=")
+        fields[key.strip()] = value.strip()
+    try:
+        return int(fields["block"]), int(fields["node"])
+    except (KeyError, ValueError) as exc:
+        raise ValueError(
+            f"malformed --plant-entropy spec '{spec}' "
+            "(expected 'block=B,node=N')"
+        ) from exc
+
+
+def _determinism_run(
+    args: argparse.Namespace,
+    algorithm: str,
+    executor_kind: str,
+    label: str,
+    plant: "Optional[tuple[int, int]]" = None,
+):
+    """One instrumented training run; returns its RunFingerprint + ledger."""
+    from .analysis.determinism import (
+        EntropyPlanter,
+        install_ledger,
+        uninstall_ledger,
+    )
+    from .analysis.divergence import RunFingerprint
+    from .obs.sink import MemorySink
+    from .utils.serialization import params_fingerprint
+
+    run_args = argparse.Namespace(**vars(args))
+    run_args.algorithm = algorithm
+    federated = _build_dataset(run_args)
+    model = _build_model(run_args, federated)
+    sources, _ = federated.split_sources_targets(
+        run_args.source_fraction, np.random.default_rng(run_args.split_seed)
+    )
+    sink = MemorySink()
+    telemetry = Telemetry(sink=sink, node_fingerprints=True)
+    executor: Optional[Executor] = None
+    if executor_kind == "parallel":
+        executor = ParallelExecutor(max_workers=getattr(args, "workers", None))
+    trainer = _build_trainer(run_args, model, telemetry, executor)
+    if plant is not None:
+        if not hasattr(trainer, "strategy"):
+            raise ValueError(
+                f"--plant-entropy is not supported for '{algorithm}'"
+            )
+        trainer.strategy = EntropyPlanter(trainer.strategy, *plant)
+    # The ledger hook is process-global: only the serial path binds node
+    # generators in this process, so parallel runs are compared via node
+    # fingerprints and events instead (workers never report ledgers back).
+    ledger = install_ledger() if executor_kind == "serial" else None
+    try:
+        result = trainer.fit(federated, sources)
+    finally:
+        uninstall_ledger()
+        if executor is not None:
+            executor.close()
+    if ledger is not None:
+        ledger.emit_events(telemetry.events)
+        ledger.to_registry(telemetry.registry)
+    telemetry.close()
+    history_rows = []
+    history = getattr(result, "history", None)
+    if history is not None:
+        for name in ("global_loss", "global_meta_loss"):
+            values = history.series(name)
+            if values:
+                history_rows.append(
+                    {"metric": name, "values": tuple(float(v) for v in values)}
+                )
+    fingerprint = RunFingerprint.from_records(
+        sink.records,
+        label=label,
+        history=history_rows,
+        final_params_fp=params_fingerprint(result.params),
+    )
+    return fingerprint, ledger, sink.records
+
+
+def _without_ledger(fingerprint):
+    """A copy of a fingerprint with ledger data removed (parallel compares)."""
+    import copy
+
+    stripped = copy.copy(fingerprint)
+    stripped.ledger = {}
+    return stripped
+
+
+def _cmd_check_determinism(args: argparse.Namespace) -> int:
+    from .analysis.divergence import compare_runs
+
+    plant = None
+    if args.plant_entropy:
+        try:
+            plant = _parse_plant_spec(args.plant_entropy)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    algorithms = (
+        list(_ALL_ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    )
+    modes = (
+        ["serial", "parallel"] if args.compare == "both" else [args.compare]
+    )
+    results = []
+    failures = 0
+    ledger_records: List[dict] = []
+    for algorithm in algorithms:
+        base_fp, base_ledger, _ = _determinism_run(
+            args, algorithm, "serial", f"{algorithm}/serial#1", plant=plant
+        )
+        if base_ledger is not None:
+            ledger_records.extend(
+                {"type": "rng_ledger", "algorithm": algorithm, **entry}
+                for entry in base_ledger.as_dicts()
+            )
+        for mode in modes:
+            rerun_fp, _, _ = _determinism_run(
+                args, algorithm, mode, f"{algorithm}/{mode}#2", plant=plant
+            )
+            if mode == "parallel":
+                point = compare_runs(
+                    _without_ledger(base_fp), rerun_fp
+                )
+            else:
+                point = compare_runs(base_fp, rerun_fp)
+            results.append((algorithm, mode, point))
+            if point is not None:
+                failures += 1
+    if args.ledger_out:
+        with open(args.ledger_out, "w", encoding="utf-8") as handle:
+            for record in ledger_records:
+                handle.write(json.dumps(record) + "\n")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": failures == 0,
+                    "comparisons": [
+                        {
+                            "algorithm": algorithm,
+                            "compare": f"serial-vs-{mode}",
+                            "diverged": point is not None,
+                            "divergence": None
+                            if point is None
+                            else {
+                                "round": point.round,
+                                "block": point.block,
+                                "node": point.node,
+                                "metric": point.metric,
+                                "a": repr(point.value_a),
+                                "b": repr(point.value_b),
+                            },
+                        }
+                        for algorithm, mode, point in results
+                    ],
+                }
+            )
+        )
+        return 1 if failures else 0
+    for algorithm, mode, point in results:
+        name = f"{algorithm} serial-vs-{mode}"
+        if point is None:
+            print(f"check-determinism: {name}: identical")
+        else:
+            print(f"check-determinism: {name}: {point.render()}")
+    if args.ledger_out:
+        print(f"rng ledger written to {args.ledger_out}")
+    if failures:
+        print(
+            f"check-determinism: FAILED — {failures} diverging comparison(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("check-determinism: all comparisons identical")
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from .obs.regress import run_gate
 
@@ -519,37 +725,42 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(stats)
     stats.set_defaults(func=_cmd_stats)
 
+    def add_algorithm_args(
+        p: argparse.ArgumentParser, extra_choices: Optional[List[str]] = None
+    ) -> None:
+        p.add_argument(
+            "--algorithm",
+            choices=[
+                "fedml", "robust-fedml", "fedavg", "fedprox", "reptile",
+                "meta-sgd", "adml", *(extra_choices or []),
+            ],
+            default="fedml",
+        )
+        p.add_argument("--alpha", type=float, default=0.05)
+        p.add_argument("--beta", type=float, default=0.05)
+        p.add_argument("--t0", type=int, default=5)
+        p.add_argument("--iterations", type=int, default=200)
+        p.add_argument("--k", type=int, default=5)
+        p.add_argument("--eval-every", type=int, default=10)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--split-seed", type=int, default=0)
+        p.add_argument("--source-fraction", type=float, default=0.8)
+        p.add_argument("--first-order", action="store_true")
+        # Robust FedML knobs.
+        p.add_argument("--lam", type=float, default=1.0)
+        p.add_argument("--nu", type=float, default=1.0)
+        p.add_argument("--ta", type=int, default=10)
+        p.add_argument("--n0", type=int, default=7)
+        p.add_argument("--r-max", type=int, default=2)
+        # FedProx knob.
+        p.add_argument("--mu-prox", type=float, default=0.1)
+        # ADML knob.
+        p.add_argument("--epsilon", type=float, default=0.1)
+
     train = sub.add_parser("train", help="train an algorithm and evaluate")
     add_dataset_args(train)
-    train.add_argument(
-        "--algorithm",
-        choices=[
-            "fedml", "robust-fedml", "fedavg", "fedprox", "reptile",
-            "meta-sgd", "adml",
-        ],
-        default="fedml",
-    )
-    train.add_argument("--alpha", type=float, default=0.05)
-    train.add_argument("--beta", type=float, default=0.05)
-    train.add_argument("--t0", type=int, default=5)
-    train.add_argument("--iterations", type=int, default=200)
-    train.add_argument("--k", type=int, default=5)
-    train.add_argument("--eval-every", type=int, default=10)
-    train.add_argument("--seed", type=int, default=0)
-    train.add_argument("--split-seed", type=int, default=0)
-    train.add_argument("--source-fraction", type=float, default=0.8)
+    add_algorithm_args(train)
     train.add_argument("--adapt-steps", type=int, default=5)
-    train.add_argument("--first-order", action="store_true")
-    # Robust FedML knobs.
-    train.add_argument("--lam", type=float, default=1.0)
-    train.add_argument("--nu", type=float, default=1.0)
-    train.add_argument("--ta", type=int, default=10)
-    train.add_argument("--n0", type=int, default=7)
-    train.add_argument("--r-max", type=int, default=2)
-    # FedProx knob.
-    train.add_argument("--mu-prox", type=float, default=0.1)
-    # ADML knob.
-    train.add_argument("--epsilon", type=float, default=0.1)
     # Execution.
     train.add_argument(
         "--executor", choices=["serial", "parallel"], default="serial",
@@ -650,10 +861,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--json", action="store_true", help="emit JSON")
     lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="accepted-findings file (analysis/baseline.json): matching "
+        "findings are counted as 'baselined' instead of failing the gate",
+    )
+    lint.add_argument(
         "--telemetry-out", default=None, metavar="PATH",
         help="record lint runtime/finding metrics as telemetry JSONL",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    check_det = sub.add_parser(
+        "check-determinism",
+        help="run a config twice (serial vs serial / serial vs parallel) and "
+        "bisect any mismatch to the first diverging (round, block, node)",
+    )
+    add_dataset_args(check_det)
+    add_algorithm_args(check_det, extra_choices=["all"])
+    check_det.add_argument(
+        "--compare", choices=["serial", "parallel", "both"], default="both",
+        help="what to compare the baseline serial run against (default both: "
+        "a second serial run and a parallel run)",
+    )
+    check_det.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process count for the parallel comparison run",
+    )
+    check_det.add_argument(
+        "--ledger-out", default=None, metavar="PATH",
+        help="write the baseline run's RNG-stream ledger as JSONL",
+    )
+    check_det.add_argument(
+        "--plant-entropy", default=None, metavar="block=B,node=N",
+        help="test hook: inject an unseeded draw into the strategy at "
+        "(block, node) — the checker must fail and name that coordinate",
+    )
+    check_det.set_defaults(func=_cmd_check_determinism)
 
     check_graph = sub.add_parser(
         "check-graph",

@@ -50,6 +50,8 @@ from ..federated.node import EdgeNode
 from ..nn.parameters import Params
 from ..obs.telemetry import Telemetry, resolve
 from ..obs.tracing import TraceContext, Tracer, WorkerTrace, reparent
+from ..utils.rng import instrument_node_rng
+from ..utils.serialization import params_fingerprint
 
 __all__ = ["Executor", "ExecutorError", "SerialExecutor", "ParallelExecutor"]
 
@@ -140,8 +142,12 @@ class SerialExecutor:
             # reads, no per-node bookkeeping.
             for node in nodes:
                 strategy.bind_node_rng(
-                    np.random.default_rng(
-                        _node_seed(base_seed, block_index, node.node_id)
+                    instrument_node_rng(
+                        np.random.default_rng(
+                            _node_seed(base_seed, block_index, node.node_id)
+                        ),
+                        block_index,
+                        node.node_id,
                     )
                 )
                 try:
@@ -158,8 +164,12 @@ class SerialExecutor:
         fastpath_base = fastpath.stats().as_dict()
         for node in nodes:
             strategy.bind_node_rng(
-                np.random.default_rng(
-                    _node_seed(base_seed, block_index, node.node_id)
+                instrument_node_rng(
+                    np.random.default_rng(
+                        _node_seed(base_seed, block_index, node.node_id)
+                    ),
+                    block_index,
+                    node.node_id,
                 )
             )
             start = time.perf_counter()
@@ -183,9 +193,13 @@ class SerialExecutor:
                     worker_traceback=worker_tb,
                 ) from exc
             span.end()
+            result_fields: Dict[str, Any] = {}
+            if tel.node_fingerprints:
+                result_fields["params_fp"] = params_fingerprint(node.params)
             events.emit(
                 "node_result", node=node.node_id, block=block_index,
                 steps=steps, duration_s=time.perf_counter() - start,
+                **result_fields,
             )
         _emit_cache_event(
             tel, block_index, fastpath.stats().delta_since(fastpath_base)
@@ -218,7 +232,9 @@ def _run_node_block(
     (instance attributes survive pickling), so the parent can report *why*
     the worker died, not just that it did.
     """
-    strategy.bind_node_rng(np.random.default_rng(seed))
+    strategy.bind_node_rng(
+        instrument_node_rng(np.random.default_rng(seed), seed[1], seed[2])
+    )
     if trace is None:
         try:
             for _ in range(steps):
@@ -361,9 +377,12 @@ class ParallelExecutor:
             if record.name == "local_train" and record.depth == 0:
                 duration = record.duration
             tel.ingest_span(reparent(record, trace))
+        result_fields: Dict[str, Any] = {}
+        if tel.node_fingerprints:
+            result_fields["params_fp"] = params_fingerprint(node.params)
         tel.events.emit(
             "node_result", node=node.node_id, block=block_index,
-            steps=steps, duration_s=duration,
+            steps=steps, duration_s=duration, **result_fields,
         )
         fastpath.merge_stats(worker.fastpath_delta)
         for key, value in worker.fastpath_delta.items():

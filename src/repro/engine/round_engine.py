@@ -271,12 +271,15 @@ class RoundEngine:
                             steps,
                             extra_delay_s=backoff,
                         )
-                    participating_ids = {id(node) for node in participating}
+                    # Keyed by node_id (stable across processes), never id().
+                    participating_ids = {
+                        node.node_id for node in participating
+                    }
                     aggregated = self.platform.aggregate(participating)  # reprolint: disable=ENG001
                     # Nodes outside the participating set resynchronize too —
                     # the paper broadcasts theta^{t+1} to all of S.
                     for node in nodes:
-                        if id(node) not in participating_ids:
+                        if node.node_id not in participating_ids:
                             node.params = detach(aggregated)
                 strategy.on_aggregate(aggregated, nodes)
                 aggregations += 1

@@ -43,7 +43,7 @@ Fault kinds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -145,7 +145,12 @@ class CrashSchedule(FaultSchedule):
     duration: int = 1
     kind: str = field(default="crash", init=False)
 
-    def events(self, node_ids, num_blocks, rng):
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
         _check_rate(self.rate)
         return [
             FaultEvent("crash", block, node_id, duration=self.duration)
@@ -162,7 +167,12 @@ class DropSchedule(FaultSchedule):
     rate: float
     kind: str = field(default="drop", init=False)
 
-    def events(self, node_ids, num_blocks, rng):
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
         _check_rate(self.rate)
         return [
             FaultEvent("drop", block, node_id)
@@ -182,7 +192,12 @@ class CorruptSchedule(FaultSchedule):
     scale: float = 10.0
     kind: str = field(default="corrupt", init=False)
 
-    def events(self, node_ids, num_blocks, rng):
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
         _check_rate(self.rate)
         return [
             FaultEvent(
@@ -207,7 +222,12 @@ class DelaySchedule(FaultSchedule):
     delay_s: float = 1.0
     kind: str = field(default="delay", init=False)
 
-    def events(self, node_ids, num_blocks, rng):
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
         _check_rate(self.rate)
         return [
             FaultEvent("delay", block, node_id, delay_s=self.delay_s)
@@ -225,7 +245,12 @@ class FlakyWorkerSchedule(FaultSchedule):
     fail_times: int = 1
     kind: str = field(default="flaky", init=False)
 
-    def events(self, node_ids, num_blocks, rng):
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
         _check_rate(self.rate)
         return [
             FaultEvent("flaky", block, node_id, fail_times=self.fail_times)
@@ -242,7 +267,12 @@ class KillSchedule(FaultSchedule):
     block: int
     kind: str = field(default="kill", init=False)
 
-    def events(self, node_ids, num_blocks, rng):
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
         if self.block < 0:
             raise ValueError("block must be non-negative")
         return [FaultEvent("kill", self.block)]
@@ -255,7 +285,12 @@ class ExplicitSchedule(FaultSchedule):
     fault_events: Tuple[FaultEvent, ...]
     kind: str = field(default="explicit", init=False)
 
-    def events(self, node_ids, num_blocks, rng):
+    def events(
+        self,
+        node_ids: Sequence[int],
+        num_blocks: int,
+        rng: np.random.Generator,
+    ) -> List[FaultEvent]:
         return list(self.fault_events)
 
 
@@ -362,7 +397,7 @@ class FaultPlan:
 
     # ------------------------------------------------------------------
     #: spec keys accepted per kind, mapped onto schedule constructor args
-    _SPEC_KEYS = {
+    _SPEC_KEYS: Dict[str, Dict[str, Callable[[str], Any]]] = {
         "crash": {"rate": float, "duration": int},
         "drop": {"rate": float},
         "corrupt": {
@@ -376,7 +411,8 @@ class FaultPlan:
         "kill": {"block": int},
     }
 
-    _SPEC_CLASSES = {
+    #: typed as schedule factories so ``cls(**kwargs)`` checks statically
+    _SPEC_CLASSES: Dict[str, Callable[..., FaultSchedule]] = {
         "crash": CrashSchedule,
         "drop": DropSchedule,
         "corrupt": CorruptSchedule,
@@ -405,7 +441,7 @@ class FaultPlan:
                     f"(expected one of {sorted(cls._SPEC_CLASSES)})"
                 )
             allowed = cls._SPEC_KEYS[kind]
-            kwargs = {}
+            kwargs: Dict[str, Any] = {}
             for pair in filter(None, (p.strip() for p in arg_text.split(","))):
                 key, sep, value = pair.partition("=")
                 key = key.strip()

@@ -120,5 +120,7 @@ class CommunicationLog:
 
     @property
     def total_time(self) -> float:
+        # Sorted before summing: float addition is order-sensitive, and set
+        # iteration order is not part of the determinism contract (DET103).
         rounds = {r.round_index for r in self.records}
-        return sum(self.round_time(idx) for idx in rounds)
+        return sum(self.round_time(idx) for idx in sorted(rounds))

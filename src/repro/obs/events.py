@@ -32,7 +32,10 @@ is off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: One telemetry record — JSON-shaped, keys are field names.
+JsonDict = Dict[str, Any]
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
@@ -63,6 +66,7 @@ EVENT_KINDS = frozenset(
         "checkpoint",
         "resume",
         "cache_hit",
+        "rng_ledger",
     }
 )
 
@@ -70,7 +74,7 @@ EVENT_KINDS = frozenset(
 class EventLog:
     """Orders and emits event records through a sink's ``emit``."""
 
-    def __init__(self, emit: Callable[[dict], None]) -> None:
+    def __init__(self, emit: Callable[[JsonDict], None]) -> None:
         self._emit = emit
         self._seq = 0
 
@@ -80,7 +84,7 @@ class EventLog:
             raise ValueError(
                 f"unknown event kind '{kind}' (known: {sorted(EVENT_KINDS)})"
             )
-        record: dict = {
+        record: JsonDict = {
             "type": "event",
             "v": EVENT_SCHEMA_VERSION,
             "seq": self._seq,
@@ -103,7 +107,7 @@ class NullEventLog:
 NULL_EVENT_LOG = NullEventLog()
 
 
-def read_events(records: Sequence[dict]) -> List[dict]:
+def read_events(records: Sequence[JsonDict]) -> List[JsonDict]:
     """Extract this reader's understood event records, in ``seq`` order.
 
     Events carrying a newer schema version than this build understands are
@@ -128,18 +132,18 @@ class RunRecord:
     from one file — no cross-referencing of separate outputs.
     """
 
-    meta: Optional[dict] = None
-    events: List[dict] = field(default_factory=list)
-    spans: List[dict] = field(default_factory=list)
-    counters: List[dict] = field(default_factory=list)
-    gauges: List[dict] = field(default_factory=list)
-    histograms: List[dict] = field(default_factory=list)
-    series: List[dict] = field(default_factory=list)
+    meta: Optional[JsonDict] = None
+    events: List[JsonDict] = field(default_factory=list)
+    spans: List[JsonDict] = field(default_factory=list)
+    counters: List[JsonDict] = field(default_factory=list)
+    gauges: List[JsonDict] = field(default_factory=list)
+    histograms: List[JsonDict] = field(default_factory=list)
+    series: List[JsonDict] = field(default_factory=list)
 
     @classmethod
-    def from_records(cls, records: Sequence[dict]) -> "RunRecord":
+    def from_records(cls, records: Sequence[JsonDict]) -> "RunRecord":
         run = cls()
-        buckets = {
+        buckets: Dict[str, List[JsonDict]] = {
             "span": run.spans,
             "counter": run.counters,
             "gauge": run.gauges,
@@ -156,7 +160,7 @@ class RunRecord:
         return run
 
     # -- convenience views used by the dashboard ------------------------
-    def events_of(self, *kinds: str) -> List[dict]:
+    def events_of(self, *kinds: str) -> List[JsonDict]:
         wanted = set(kinds)
         return [e for e in self.events if e.get("kind") in wanted]
 
@@ -171,7 +175,7 @@ class RunRecord:
             value = float(record.get("value", 0.0))
         return value
 
-    def find_series(self, name: str) -> Optional[dict]:
+    def find_series(self, name: str) -> Optional[JsonDict]:
         for record in self.series:
             if record.get("name") == name:
                 return record

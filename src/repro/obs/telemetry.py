@@ -77,7 +77,12 @@ class Telemetry:
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
         span_ring_size: int = 4096,
+        node_fingerprints: bool = False,
     ) -> None:
+        #: when set, executors attach a ``params_fp`` content hash to every
+        #: ``node_result`` event (used by ``repro check-determinism`` to
+        #: localize a divergence; off by default — hashing costs time).
+        self.node_fingerprints = node_fingerprints
         self.sink = sink if sink is not None else MemorySink()
         self.registry = registry if registry is not None else MetricRegistry()
         self.tracer = (
@@ -173,6 +178,7 @@ class NullTelemetry:
     """Disabled telemetry: the default for every instrumented code path."""
 
     enabled = False
+    node_fingerprints = False
     __slots__ = ()
     _metric = _NullMetric()
     tracer = NULL_TRACER

@@ -8,9 +8,42 @@ independently without perturbing each other.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 import numpy as np
 
-__all__ = ["RngFactory", "spawn"]
+__all__ = [
+    "RngFactory",
+    "spawn",
+    "set_node_rng_hook",
+    "instrument_node_rng",
+]
+
+#: Optional wrapper applied to every per-node block generator the executors
+#: create.  ``repro check-determinism`` installs the RNG-stream ledger here
+#: (see :mod:`repro.analysis.determinism`); normal runs pay one ``None``
+#: check.  The hook receives ``(rng, block_index, node_id)`` and returns the
+#: generator the strategy should draw from.
+NodeRngHook = Callable[[np.random.Generator, int, int], np.random.Generator]
+
+_NODE_RNG_HOOK: Optional[NodeRngHook] = None
+
+
+def set_node_rng_hook(hook: Optional[NodeRngHook]) -> Optional[NodeRngHook]:
+    """Install (or clear, with ``None``) the node-RNG hook; returns the old one."""
+    global _NODE_RNG_HOOK
+    previous = _NODE_RNG_HOOK
+    _NODE_RNG_HOOK = hook
+    return previous
+
+
+def instrument_node_rng(
+    rng: np.random.Generator, block_index: int, node_id: int
+) -> np.random.Generator:
+    """Pass a freshly seeded per-node generator through the active hook."""
+    if _NODE_RNG_HOOK is None:
+        return rng
+    return _NODE_RNG_HOOK(rng, block_index, node_id)
 
 
 class RngFactory:

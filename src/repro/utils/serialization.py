@@ -8,6 +8,7 @@ would upload.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import struct
 from typing import Dict
@@ -17,7 +18,12 @@ import numpy as np
 from ..autodiff import Tensor
 from ..nn.parameters import Params
 
-__all__ = ["serialize_params", "deserialize_params", "payload_bytes"]
+__all__ = [
+    "serialize_params",
+    "deserialize_params",
+    "payload_bytes",
+    "params_fingerprint",
+]
 
 _MAGIC = b"RPRM"
 _VERSION = 1
@@ -87,3 +93,14 @@ def deserialize_params(blob: bytes) -> Params:
 def payload_bytes(params: Params) -> int:
     """Exact wire size of a parameter tree under this format."""
     return len(serialize_params(params))
+
+
+def params_fingerprint(params: Params) -> str:
+    """Short content hash of a parameter tree (bit-sensitive).
+
+    Two trees fingerprint equal iff :func:`serialize_params` produces the
+    same bytes — same names, shapes, and float64 payloads down to the last
+    bit.  Used by ``repro check-determinism`` to compare per-node state
+    across runs without shipping the parameters themselves.
+    """
+    return hashlib.sha256(serialize_params(params)).hexdigest()[:16]

@@ -1,0 +1,270 @@
+"""Units for the intraprocedural dataflow engine behind the DET rules."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    ENTROPY,
+    IDENTITY,
+    UNORDERED,
+    WALLCLOCK,
+    ModuleDataflow,
+    Taint,
+    dotted,
+    scope_statements,
+    stmt_expressions,
+)
+
+
+def analyze(source):
+    return ModuleDataflow(ast.parse(textwrap.dedent(source)))
+
+
+def scope_named(df, name):
+    for scope in df.scopes:
+        if scope.name == name:
+            return scope
+    raise AssertionError(f"no scope {name!r}")
+
+
+class TestTaint:
+    def test_merged_keeps_earliest_origin(self):
+        a = Taint({WALLCLOCK: 9})
+        b = Taint({WALLCLOCK: 3, ENTROPY: 5})
+        merged = a.merged(b)
+        assert merged.origin(WALLCLOCK) == 3
+        assert merged.origin(ENTROPY) == 5
+        # and merge order does not matter
+        assert b.merged(a).origins == merged.origins
+
+    def test_without_is_non_destructive(self):
+        taint = Taint({UNORDERED: 1, ENTROPY: 2})
+        stripped = taint.without(UNORDERED)
+        assert not stripped.has(UNORDERED)
+        assert taint.has(UNORDERED)
+
+    def test_merge_into_weak_update(self):
+        env = {}
+        assert Taint({ENTROPY: 4}).merge_into(env, "x")
+        # merging the same labels again is a no-op
+        assert not Taint({ENTROPY: 9}).merge_into(env, "x")
+        assert env["x"].origin(ENTROPY) == 4
+
+
+class TestHelpers:
+    def test_dotted_flattens_chains(self):
+        expr = ast.parse("np.random.normal", mode="eval").body
+        assert dotted(expr) == ["np", "random", "normal"]
+
+    def test_dotted_rejects_non_name_roots(self):
+        expr = ast.parse("a().b", mode="eval").body
+        assert dotted(expr) == []
+
+    def test_scope_statements_skip_nested_functions(self):
+        df = analyze(
+            """
+            def outer():
+                a = 1
+                def inner():
+                    b = 2
+                a = 3
+            """
+        )
+        outer = scope_named(df, "outer")
+        lines = [s.lineno for s in scope_statements(outer.node)]
+        # the `def inner` statement itself is outer's (line 4); inner's
+        # body (line 5) belongs to inner's scope
+        assert 4 in lines
+        assert 5 not in lines
+
+    def test_stmt_expressions_exclude_child_statements(self):
+        stmt = ast.parse("if cond:\n    body()\n").body[0]
+        exprs = list(stmt_expressions(stmt))
+        assert [type(e).__name__ for e in exprs] == ["Name"]
+
+
+class TestPropagation:
+    def test_assignment_chain_carries_taint(self):
+        df = analyze(
+            """
+            import time
+            def f():
+                t = time.time()
+                u = t * 2
+                return u
+            """
+        )
+        scope = scope_named(df, "f")
+        assert scope.taint_of("u").has(WALLCLOCK)
+        assert scope.taint_of("u").origin(WALLCLOCK) == 4
+
+    def test_tuple_unpacking_and_for_targets(self):
+        df = analyze(
+            """
+            import os
+            def f(pairs):
+                a, b = os.urandom(1), 2
+                for item in {1, 2}:
+                    c = item
+            """
+        )
+        scope = scope_named(df, "f")
+        assert scope.taint_of("a").has(ENTROPY)
+        assert scope.taint_of("b").has(ENTROPY)  # over-approximation
+        assert scope.taint_of("c").has(UNORDERED)
+
+    def test_weak_update_keeps_old_labels(self):
+        df = analyze(
+            """
+            import time
+            def f():
+                x = time.time()
+                x = 0
+            """
+        )
+        assert scope_named(df, "f").taint_of("x").has(WALLCLOCK)
+
+    def test_module_function_summary_reaches_call_site(self):
+        df = analyze(
+            """
+            import time
+            def stamp():
+                return time.time()
+            def g():
+                v = stamp()
+            """
+        )
+        assert df.summaries["stamp"].has(WALLCLOCK)
+        assert scope_named(df, "g").taint_of("v").has(WALLCLOCK)
+
+    def test_tainted_callable_name(self):
+        df = analyze(
+            """
+            import time
+            def f():
+                clock = time.perf_counter
+                v = clock()
+            """
+        )
+        assert scope_named(df, "f").taint_of("v").has(WALLCLOCK)
+
+    def test_receiver_taint_flows_through_methods(self):
+        df = analyze(
+            """
+            def f(xs):
+                s = set(xs)
+                t = s.union(xs)
+            """
+        )
+        assert scope_named(df, "f").taint_of("t").has(UNORDERED)
+
+
+class TestSanitizers:
+    def test_sorted_strips_unordered(self):
+        df = analyze(
+            """
+            def f(xs):
+                s = set(xs)
+                ordered = sorted(s)
+                n = len(s)
+            """
+        )
+        scope = scope_named(df, "f")
+        assert not scope.taint_of("ordered").has(UNORDERED)
+        assert not scope.taint_of("n").has(UNORDERED)
+
+    def test_membership_test_is_order_independent(self):
+        df = analyze(
+            """
+            def f(xs, y):
+                s = set(xs)
+                hit = y in s
+            """
+        )
+        assert not scope_named(df, "f").taint_of("hit").has(UNORDERED)
+
+    def test_sanitizer_keeps_other_labels(self):
+        df = analyze(
+            """
+            import time
+            def f(xs):
+                s = {time.time()}
+                ordered = sorted(s)
+            """
+        )
+        taint = scope_named(df, "f").taint_of("ordered")
+        assert taint.has(WALLCLOCK)
+        assert not taint.has(UNORDERED)
+
+
+class TestClassifiers:
+    def test_entropy_calls(self):
+        positives = [
+            "os.urandom(8)",
+            "secrets.token_bytes(4)",
+            "uuid.uuid4()",
+            "np.random.default_rng()",
+            "np.random.normal()",
+            "random.random()",
+        ]
+        negatives = [
+            "np.random.default_rng(7)",
+            "np.random.SeedSequence([1])",
+            "np.random.PCG64(3)",
+            "rng.normal()",
+        ]
+        for src in positives:
+            call = ast.parse(src, mode="eval").body
+            assert ModuleDataflow.is_entropy_call(call), src
+        for src in negatives:
+            call = ast.parse(src, mode="eval").body
+            assert not ModuleDataflow.is_entropy_call(call), src
+
+    def test_identity_sources(self):
+        df = analyze(
+            """
+            def f(x):
+                k = id(x)
+                h = hash(x)
+            """
+        )
+        scope = scope_named(df, "f")
+        assert scope.taint_of("k").has(IDENTITY)
+        assert scope.taint_of("h").has(IDENTITY)
+
+    def test_bare_wallclock_attribute_reference(self):
+        df = analyze(
+            """
+            import time
+            def f():
+                fn = time.monotonic
+            """
+        )
+        assert scope_named(df, "f").taint_of("fn").has(WALLCLOCK)
+
+
+class TestDefUse:
+    def test_definitions_recorded_with_taint(self):
+        df = analyze(
+            """
+            import time
+            def f():
+                t = time.time()
+            """
+        )
+        scope = scope_named(df, "f")
+        defs = [d for d in scope.defs if d.name == "t"]
+        assert len(defs) == 1
+        assert defs[0].line == 4
+        assert defs[0].taint.has(WALLCLOCK)
+
+    def test_uses_finds_load_sites_only(self):
+        df = analyze(
+            """
+            def f():
+                x = 1
+                y = x + x
+            """
+        )
+        scope = scope_named(df, "f")
+        assert len(scope.uses("x")) == 2

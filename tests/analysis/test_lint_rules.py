@@ -349,7 +349,11 @@ class TestSuppressions:
             "y = np.random.rand(3)\n"
         )
         report = lint_source(src)
-        assert [f.rule_id for f in report.findings] == ["RNG001"]
+        # The fixture also trips DET101 (both lines; the suppression names
+        # only RNG001) — this test cares only that RNG001 on the suppressed
+        # line is gone while the unsuppressed line still fires.
+        rng = [f for f in report.findings if f.rule_id == "RNG001"]
+        assert [f.line for f in rng] == [3]
 
     def test_file_suppression(self):
         src = (
@@ -374,12 +378,21 @@ class TestSuppressions:
 
 
 class TestEachRuleHasFixtureCoverage:
-    """Guard: every registered rule id appears in this file's fixtures."""
+    """Guard: every registered rule id appears in some fixture file here.
+
+    Rule families live in sibling modules (the DET fixtures are in
+    test_det_rules.py), so the scan covers every test_*.py in this
+    directory, not just this file.
+    """
 
     def test_all_rules_exercised(self):
         default_rules()
         import pathlib
 
-        here = pathlib.Path(__file__).read_text(encoding="utf-8")
+        fixture_dir = pathlib.Path(__file__).parent
+        corpus = "".join(
+            p.read_text(encoding="utf-8")
+            for p in sorted(fixture_dir.glob("test_*.py"))
+        )
         for rule_id in REGISTRY:
-            assert rule_id in here, f"no fixture exercises rule {rule_id}"
+            assert rule_id in corpus, f"no fixture exercises rule {rule_id}"
