@@ -1,16 +1,25 @@
-"""Ablation — round-engine executors: serial vs process-pool throughput.
+"""Ablation — round-engine executors: serial vs pool vs stacked throughput.
 
 The unified round engine runs each node's T0-step block through a pluggable
 ``Executor``.  Client blocks between aggregations are independent, so
 ``ParallelExecutor`` fans them out across a process pool; deterministic
 per-node seeding (``[seed, block, node]``) plus lossless float64 pickling
 keep the result bit-identical to ``SerialExecutor``.  This bench measures
-the trade — rounds/sec for both executors on the same FedML workload — and
+the trade — rounds/sec for the executors on the same FedML workload — and
 asserts the parallel path stays seed-deterministic.  The break-even point
 depends on per-block compute: meta-gradients over an MLP amortize the
 pickle/IPC cost; a tiny model would not.  Speedup also needs real cores —
 on a single-CPU machine the pool is pure overhead, so the written record
 includes ``cpus`` and the speedup assertion only applies with >= 2.
+
+:class:`VectorizedExecutor` plays a different game: instead of more
+processes it builds *one* stacked ``(N, ...)`` tape per block, so the
+per-op Python overhead is paid once per fleet rather than once per node.
+``run_comparison`` times it on the same 8-node workload (tolerance-matched
+to serial, bit-reproducible against itself); ``run_scale_comparison``
+measures where stacking actually pays — a 50-node uniform fleet, where a
+process pool only adds pickling — and gates a >= 10x rounds/sec win over
+the pool.
 
 Standalone mode writes the CI artifact ``BENCH_engine.json``::
 
@@ -27,7 +36,8 @@ import numpy as np
 
 from repro.core import FedML, FedMLConfig
 from repro.data import SyntheticConfig, generate_synthetic
-from repro.engine import ParallelExecutor
+from repro.data.dataset import FederatedDataset
+from repro.engine import ParallelExecutor, VectorizedExecutor
 from repro.nn import MLP
 from repro.nn.parameters import to_vector
 
@@ -73,8 +83,26 @@ def run_comparison(nodes=8, total_iterations=40, t0=5, workers=None):
         parallel = runner.fit(fed, sources)
         parallel_s = time.perf_counter() - start
 
+    start = time.perf_counter()
+    vectorized = make_runner(
+        model, total_iterations, t0, executor=VectorizedExecutor()
+    ).fit(fed, sources)
+    vectorized_s = time.perf_counter() - start
+    rerun = make_runner(
+        model, total_iterations, t0, executor=VectorizedExecutor()
+    ).fit(fed, sources)
+
     deterministic = bool(
         np.array_equal(to_vector(serial.params), to_vector(parallel.params))
+    )
+    vectorized_matches_serial = bool(
+        np.allclose(
+            to_vector(serial.params), to_vector(vectorized.params),
+            rtol=1e-6, atol=1e-9,
+        )
+    )
+    vectorized_bit_reproducible = bool(
+        np.array_equal(to_vector(vectorized.params), to_vector(rerun.params))
     )
     return {
         "nodes": nodes,
@@ -84,10 +112,91 @@ def run_comparison(nodes=8, total_iterations=40, t0=5, workers=None):
         "cpus": available_cpus(),
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
+        "vectorized_seconds": vectorized_s,
         "serial_rounds_per_sec": aggregations / serial_s,
         "parallel_rounds_per_sec": aggregations / parallel_s,
+        "vectorized_rounds_per_sec": aggregations / vectorized_s,
         "speedup": serial_s / parallel_s,
         "deterministic": deterministic,
+        "vectorized_matches_serial": vectorized_matches_serial,
+        "vectorized_bit_reproducible": vectorized_bit_reproducible,
+    }
+
+
+def run_scale_comparison(nodes=50, blocks=8, t0=5, workers=None):
+    """Pool vs stacked tape at fleet scale, uniform per-node data.
+
+    This leg isolates the executor itself: it times ``run_block`` — the
+    exact component the executors swap out — on a FedAvg/LogReg fleet
+    where per-node compute is tiny, so the pool's per-task pickling and
+    the serial tape's per-node Python overhead dominate.  One warmup
+    block per executor first (pool spawn, fastpath plan build), then
+    ``blocks`` timed rounds.  At 50 nodes the pool pays 50 pickled
+    round-trips per block while the stacked tape pays one batched
+    backward; the >= 10x rounds/sec gate lives here.
+    """
+    from repro.core import FedAvgConfig
+    from repro.engine import SgdStrategy
+    from repro.nn import LogisticRegression
+    from repro.nn.parameters import detach
+
+    model = LogisticRegression(60, 10)
+    fed = generate_synthetic(
+        SyntheticConfig(
+            alpha=0.5, beta=0.5, num_nodes=nodes, mean_samples=30, seed=1
+        )
+    )
+    size = min(len(d) for d in fed.nodes)
+    fed = FederatedDataset(
+        name=fed.name,
+        nodes=[d.subset(range(size)) for d in fed.nodes],
+        num_classes=fed.num_classes,
+        metadata=dict(fed.metadata),
+    )
+    cfg = FedAvgConfig(
+        learning_rate=0.05, t0=t0, total_iterations=t0 * (blocks + 1),
+        eval_every=10_000, seed=0,
+    )
+    strategy = SgdStrategy(model, cfg)
+    init = model.init(np.random.default_rng(0))
+
+    def run_blocks(executor):
+        ns = strategy.build_nodes(fed, list(range(nodes)))
+        for node in ns:
+            node.params = detach(init)
+        executor.run_block(strategy, ns, t0, block_index=0, base_seed=0)
+        start = time.perf_counter()
+        for block in range(1, blocks + 1):
+            executor.run_block(
+                strategy, ns, t0, block_index=block, base_seed=0
+            )
+        elapsed = time.perf_counter() - start
+        params = np.concatenate([to_vector(n.params) for n in ns])
+        return elapsed, params
+
+    with ParallelExecutor(max_workers=workers) as pool:
+        parallel_s, parallel_params = run_blocks(pool)
+    vectorized_s, vectorized_params = run_blocks(VectorizedExecutor())
+    _, rerun_params = run_blocks(VectorizedExecutor())
+
+    matches = bool(
+        np.allclose(
+            parallel_params, vectorized_params, rtol=1e-6, atol=1e-9
+        )
+    )
+    reproducible = bool(
+        np.array_equal(vectorized_params, rerun_params)
+    )
+    return {
+        "scale_nodes": nodes,
+        "scale_rounds": blocks,
+        "parallel50_seconds": parallel_s,
+        "vectorized50_seconds": vectorized_s,
+        "parallel50_rounds_per_sec": blocks / parallel_s,
+        "vectorized50_rounds_per_sec": blocks / vectorized_s,
+        "vectorized50_speedup_vs_parallel": parallel_s / vectorized_s,
+        "vectorized50_matches_parallel": matches,
+        "vectorized50_bit_reproducible": reproducible,
     }
 
 
@@ -102,11 +211,32 @@ def test_ablation_parallel_executor(benchmark):
         run_comparison, kwargs={"nodes": 8}, rounds=1, iterations=1
     )
     assert result["deterministic"], "parallel run diverged from serial"
+    assert result["vectorized_matches_serial"], (
+        "vectorized run left the serial tolerance band"
+    )
+    assert result["vectorized_bit_reproducible"], (
+        "two vectorized runs of the same config diverged"
+    )
     if result["cpus"] >= 2:
         assert result["speedup"] > 1.0, (
             f"no speedup at {result['nodes']} nodes on "
             f"{result['cpus']} cpus: {result['speedup']:.2f}x"
         )
+
+
+def test_ablation_vectorized_scale(benchmark):
+    """Pytest entry: the stacked tape beats the pool >= 10x at 50 nodes."""
+    result = benchmark.pedantic(
+        run_scale_comparison, kwargs={"nodes": 50}, rounds=1, iterations=1
+    )
+    assert result["vectorized50_matches_parallel"], (
+        "vectorized run left the parallel tolerance band at 50 nodes"
+    )
+    assert result["vectorized50_speedup_vs_parallel"] >= 10.0, (
+        f"stacked tape only "
+        f"{result['vectorized50_speedup_vs_parallel']:.1f}x over the pool "
+        f"at {result['scale_nodes']} nodes"
+    )
 
 
 def main():
@@ -115,12 +245,16 @@ def main():
     parser.add_argument("--iterations", type=int, default=40)
     parser.add_argument("--t0", type=int, default=5)
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--scale-nodes", type=int, default=50)
     parser.add_argument("--out", default="BENCH_engine.json")
     args = parser.parse_args()
 
     result = run_comparison(
         nodes=args.nodes, total_iterations=args.iterations, t0=args.t0,
         workers=args.workers,
+    )
+    result.update(
+        run_scale_comparison(nodes=args.scale_nodes, workers=args.workers)
     )
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2)
@@ -130,9 +264,25 @@ def main():
         f"serial {result['serial_rounds_per_sec']:.2f} r/s, "
         f"parallel {result['parallel_rounds_per_sec']:.2f} r/s "
         f"({result['speedup']:.2f}x, "
-        f"deterministic={result['deterministic']}) -> {args.out}"
+        f"deterministic={result['deterministic']}), "
+        f"vectorized {result['vectorized_rounds_per_sec']:.2f} r/s "
+        f"(matches_serial={result['vectorized_matches_serial']}, "
+        f"bit_reproducible={result['vectorized_bit_reproducible']})"
     )
-    return 0 if result["deterministic"] else 1
+    print(
+        f"{result['scale_nodes']} nodes scale: "
+        f"parallel {result['parallel50_rounds_per_sec']:.2f} r/s, "
+        f"vectorized {result['vectorized50_rounds_per_sec']:.2f} r/s "
+        f"({result['vectorized50_speedup_vs_parallel']:.1f}x) "
+        f"-> {args.out}"
+    )
+    healthy = (
+        result["deterministic"]
+        and result["vectorized_matches_serial"]
+        and result["vectorized_bit_reproducible"]
+        and result["vectorized50_speedup_vs_parallel"] >= 10.0
+    )
+    return 0 if healthy else 1
 
 
 if __name__ == "__main__":

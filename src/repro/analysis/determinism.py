@@ -189,6 +189,11 @@ class EntropyPlanter:
     wrapped strategy, so the planted run is otherwise faithful.
     """
 
+    #: class attribute so ``__getattr__`` cannot forward the wrapped
+    #: strategy's flag: the plant lives in ``local_step``, and a stacked
+    #: block would silently skip it
+    supports_vectorized = False
+
     def __init__(self, inner: Any, block: int, node: int) -> None:
         self._inner = inner
         self._plant_block = block

@@ -70,7 +70,7 @@ from .core import (
     evaluate_adaptation,
 )
 from .core.fedprox import FedProx, FedProxConfig
-from .engine import EngineOptions, Executor, ParallelExecutor
+from .engine import EngineOptions, Executor, ParallelExecutor, VectorizedExecutor
 from .faults import FaultPlan, ResiliencePolicy, RunInterrupted
 from .data import (
     FederatedDataset,
@@ -150,8 +150,11 @@ def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
 
 def _build_executor(args: argparse.Namespace) -> Optional[Executor]:
     """Map ``--executor``/``--workers`` to an engine executor (default serial)."""
-    if getattr(args, "executor", "serial") == "parallel":
+    kind = getattr(args, "executor", "serial")
+    if kind == "parallel":
         return ParallelExecutor(max_workers=getattr(args, "workers", None))
+    if kind == "vectorized":
+        return VectorizedExecutor()
     return None
 
 
@@ -547,6 +550,8 @@ def _determinism_run(
     executor: Optional[Executor] = None
     if executor_kind == "parallel":
         executor = ParallelExecutor(max_workers=getattr(args, "workers", None))
+    elif executor_kind == "vectorized":
+        executor = VectorizedExecutor()
     trainer = _build_trainer(run_args, model, telemetry, executor)
     if plant is not None:
         if not hasattr(trainer, "strategy"):
@@ -614,16 +619,40 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
     results = []
     failures = 0
     ledger_records: List[dict] = []
+    needs_serial_base = any(m in ("serial", "parallel") for m in modes)
     for algorithm in algorithms:
-        base_fp, base_ledger, _ = _determinism_run(
-            args, algorithm, "serial", f"{algorithm}/serial#1", plant=plant
-        )
-        if base_ledger is not None:
-            ledger_records.extend(
-                {"type": "rng_ledger", "algorithm": algorithm, **entry}
-                for entry in base_ledger.as_dicts()
+        base_fp = None
+        if needs_serial_base:
+            base_fp, base_ledger, _ = _determinism_run(
+                args, algorithm, "serial", f"{algorithm}/serial#1", plant=plant
             )
+            if base_ledger is not None:
+                ledger_records.extend(
+                    {"type": "rng_ledger", "algorithm": algorithm, **entry}
+                    for entry in base_ledger.as_dicts()
+                )
         for mode in modes:
+            if mode == "vectorized":
+                # Stacked fp math only promises tolerance-level equality
+                # with serial, so the claim proven here is the stronger
+                # one the executor does make: two vectorized runs are
+                # bit-for-bit identical.
+                first_fp, _, _ = _determinism_run(
+                    args, algorithm, mode, f"{algorithm}/{mode}#1",
+                    plant=plant,
+                )
+                rerun_fp, _, _ = _determinism_run(
+                    args, algorithm, mode, f"{algorithm}/{mode}#2",
+                    plant=plant,
+                )
+                point = compare_runs(
+                    _without_ledger(first_fp), _without_ledger(rerun_fp)
+                )
+                results.append((algorithm, "vectorized-vs-vectorized", point))
+                if point is not None:
+                    failures += 1
+                continue
+            assert base_fp is not None
             rerun_fp, _, _ = _determinism_run(
                 args, algorithm, mode, f"{algorithm}/{mode}#2", plant=plant
             )
@@ -633,7 +662,7 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
                 )
             else:
                 point = compare_runs(base_fp, rerun_fp)
-            results.append((algorithm, mode, point))
+            results.append((algorithm, f"serial-vs-{mode}", point))
             if point is not None:
                 failures += 1
     if args.ledger_out:
@@ -648,7 +677,7 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
                     "comparisons": [
                         {
                             "algorithm": algorithm,
-                            "compare": f"serial-vs-{mode}",
+                            "compare": compare_label,
                             "diverged": point is not None,
                             "divergence": None
                             if point is None
@@ -661,14 +690,14 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
                                 "b": repr(point.value_b),
                             },
                         }
-                        for algorithm, mode, point in results
+                        for algorithm, compare_label, point in results
                     ],
                 }
             )
         )
         return 1 if failures else 0
-    for algorithm, mode, point in results:
-        name = f"{algorithm} serial-vs-{mode}"
+    for algorithm, compare_label, point in results:
+        name = f"{algorithm} {compare_label}"
         if point is None:
             print(f"check-determinism: {name}: identical")
         else:
@@ -763,9 +792,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--adapt-steps", type=int, default=5)
     # Execution.
     train.add_argument(
-        "--executor", choices=["serial", "parallel"], default="serial",
-        help="run each node's local steps serially or in a process pool "
-        "(bit-identical results either way)",
+        "--executor", choices=["serial", "parallel", "vectorized"],
+        default="serial",
+        help="run each node's local steps serially, in a process pool "
+        "(bit-identical to serial), or as stacked batched tapes "
+        "(tolerance-equal to serial, bit-reproducible run-to-run)",
     )
     train.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -879,9 +910,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(check_det)
     add_algorithm_args(check_det, extra_choices=["all"])
     check_det.add_argument(
-        "--compare", choices=["serial", "parallel", "both"], default="both",
-        help="what to compare the baseline serial run against (default both: "
-        "a second serial run and a parallel run)",
+        "--compare",
+        choices=["serial", "parallel", "vectorized", "both"],
+        default="both",
+        help="what to compare (default both: baseline serial run vs a "
+        "second serial run and a parallel run; 'vectorized' instead runs "
+        "the vectorized executor twice and requires bit-identity)",
     )
     check_det.add_argument(
         "--workers", type=int, default=None, metavar="N",

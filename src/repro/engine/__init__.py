@@ -10,6 +10,7 @@ classes in :mod:`repro.core` are thin facades over this package; see
 from .evaluation import loss_gradient, node_training_data, weighted_node_average
 from .executors import Executor, ExecutorError, ParallelExecutor, SerialExecutor
 from .round_engine import EngineOptions, EngineResult, RoundEngine
+from .vectorized import VectorizedExecutor
 from .strategies import (
     AdmlStrategy,
     AdversarialStrategy,
@@ -32,6 +33,7 @@ __all__ = [
     "ExecutorError",
     "SerialExecutor",
     "ParallelExecutor",
+    "VectorizedExecutor",
     "LocalStrategy",
     "RunnerStepAdapter",
     "SgdStrategy",

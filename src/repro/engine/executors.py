@@ -281,6 +281,15 @@ class ParallelExecutor:
     The pool is created lazily on first use and should be released with
     :meth:`close` (the engine does this via context management; the class
     also works as a context manager directly).
+
+    Lifecycle contract: :meth:`run_block` after :meth:`close` does NOT
+    fail — it transparently re-creates the pool (every block entry goes
+    through ``_ensure_pool``), so an executor can be reused across
+    ``fit()`` calls that each close it.  Pinned by
+    ``tests/engine/test_executors.py`` (both at the fit level and with a
+    direct ``run_block``-after-``close`` regression test); a fresh pool
+    cannot affect results because all state lives in the submitted
+    ``(strategy, node, seed)`` payloads, never in the workers.
     """
 
     def __init__(self, max_workers: Optional[int] = None) -> None:

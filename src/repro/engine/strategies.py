@@ -41,6 +41,12 @@ from ..autodiff import Tensor, grad, ops
 from ..attacks.wasserstein import wasserstein_ascent
 from ..data.dataset import Dataset, FederatedDataset, NodeSplit
 from ..federated.node import EdgeNode, build_nodes
+from ..nn.batched import (
+    batched_model_loss,
+    stack_params,
+    supports_batched_loss,
+    unstack_params,
+)
 from ..nn.fused import fused_model_loss
 from ..nn.losses import cross_entropy
 from ..nn.modules import Model
@@ -78,6 +84,13 @@ class LocalStrategy:
     log_initial: bool = True
     #: include platform uplink bytes in the history records
     log_uplink: bool = False
+    #: capability flag: this strategy implements
+    #: :meth:`local_block_vectorized` and may be run by the
+    #: ``VectorizedExecutor`` as one stacked tape per block.  Stacked fp
+    #: math reorders accumulations, so only strategies that opt in here
+    #: are ever vectorized; everything else falls back to serial per-node
+    #: execution inside the same block.
+    supports_vectorized: bool = False
 
     def __init__(
         self, model: Model, config: Any, loss_fn: LossFn = cross_entropy
@@ -114,6 +127,32 @@ class LocalStrategy:
     # -- the local update ----------------------------------------------
     def local_step(self, node: EdgeNode) -> float:
         """One local iteration on ``node``; returns the local loss value."""
+        raise NotImplementedError
+
+    # -- vectorized (stacked) execution ---------------------------------
+    def vectorized_signature(self, node: EdgeNode) -> Optional[Tuple]:
+        """Grouping key for stacked execution, or ``None`` to fall back.
+
+        Nodes with equal signatures share one stacked tape; the key must
+        capture everything that makes their buffers stackable (data
+        shapes, dtypes).  The base implementation opts every node out.
+        """
+        return None
+
+    def local_block_vectorized(
+        self,
+        nodes: Sequence[EdgeNode],
+        steps: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        """Run ``steps`` local iterations for all ``nodes`` as one tape.
+
+        Only called by the ``VectorizedExecutor``, only when
+        ``supports_vectorized`` is set, and only on groups with equal
+        :meth:`vectorized_signature`.  ``rngs[i]`` is node ``i``'s
+        deterministic ``[seed, block, node]`` generator — the same stream
+        the serial executor would bind.
+        """
         raise NotImplementedError
 
     def evaluate(
@@ -187,6 +226,11 @@ class RunnerStepAdapter:
     all), so it is not picklable — overridden steps run serially.
     """
 
+    #: never vectorize through the adapter: the runner's overridden
+    #: ``local_step`` is the whole point, and a stacked block would skip it
+    #: (class attribute, so ``__getattr__`` cannot forward the strategy's)
+    supports_vectorized = False
+
     def __init__(self, strategy: LocalStrategy, runner: Any) -> None:
         self._strategy = strategy
         self._runner = runner
@@ -247,6 +291,64 @@ class SgdStrategy(LocalStrategy):
         node.record_local_step(gradient_evals=1)
         return 0.0
 
+    supports_vectorized = True
+
+    def vectorized_signature(self, node: EdgeNode) -> Optional[Tuple]:
+        if not supports_batched_loss(self.model, self.loss_fn):
+            return None
+        data = self._full_data(node)
+        x = np.asarray(data.x)
+        return (x.shape, x.dtype.kind, np.asarray(data.y).shape)
+
+    def _stacked_block_inputs(
+        self, nodes: Sequence[EdgeNode]
+    ) -> Tuple[np.ndarray, np.ndarray, Params, List[str]]:
+        datasets = [self._full_data(node) for node in nodes]
+        xs = np.stack([np.asarray(d.x) for d in datasets])
+        ys = np.stack([np.asarray(d.y) for d in datasets])
+        stacked = stack_params([node.params for node in nodes])
+        return xs, ys, stacked, sorted(stacked)
+
+    def _apply_stacked(
+        self, nodes: Sequence[EdgeNode], stacked: Params, steps: int,
+        gradient_evals: int,
+    ) -> None:
+        for node, tree in zip(nodes, unstack_params(stacked, len(nodes))):
+            # Intentional per-node loop: state fan-out and step accounting,
+            # not compute (the compute ran as one stacked tape above).
+            node.params = tree
+            for _ in range(steps):
+                node.record_local_step(gradient_evals=gradient_evals)
+
+    def local_block_vectorized(
+        self,
+        nodes: Sequence[EdgeNode],
+        steps: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        cfg = self.config
+        xs, ys, stacked, names = self._stacked_block_inputs(nodes)
+        for _ in range(steps):
+            theta = require_grad(stacked)
+            loss_vec = batched_model_loss(self.model, theta, xs, ys)
+            grads = grad(
+                ops.sum_(loss_vec), [theta[n] for n in names],
+                allow_unused=True,
+            )
+            stacked = {
+                name: Tensor(
+                    theta[name].data
+                    + (-cfg.learning_rate)
+                    * (
+                        np.zeros_like(theta[name].data)
+                        if g is None
+                        else g.data
+                    )
+                )
+                for name, g in zip(names, grads)
+            }
+        self._apply_stacked(nodes, stacked, steps, gradient_evals=1)
+
     def global_loss(self, params: Params, nodes: Sequence[EdgeNode]) -> float:
         """Weighted empirical loss ``L_w(theta)`` (eq. 2)."""
 
@@ -303,6 +405,41 @@ class ProxStrategy(SgdStrategy):
         node.record_local_step(gradient_evals=1)
         return 0.0
 
+    def local_block_vectorized(
+        self,
+        nodes: Sequence[EdgeNode],
+        steps: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        cfg = self.config
+        anchor = self._anchor
+        xs, ys, stacked, names = self._stacked_block_inputs(nodes)
+        for _ in range(steps):
+            theta = require_grad(stacked)
+            loss_vec = batched_model_loss(self.model, theta, xs, ys)
+            grads = grad(
+                ops.sum_(loss_vec), [theta[n] for n in names],
+                allow_unused=True,
+            )
+            updated: Params = {}
+            for name, g in zip(names, grads):
+                gd = (
+                    np.zeros_like(theta[name].data) if g is None else g.data
+                )
+                # The shared anchor broadcasts over the leading node axis;
+                # per-slice arithmetic mirrors the serial local_step.
+                updated[name] = Tensor(
+                    theta[name].data
+                    - cfg.learning_rate
+                    * (
+                        gd
+                        + cfg.mu_prox
+                        * (theta[name].data - anchor[name].data[None])
+                    )
+                )
+            stacked = updated
+        self._apply_stacked(nodes, stacked, steps, gradient_evals=1)
+
 
 # ----------------------------------------------------------------------
 # Meta-learning strategies
@@ -329,6 +466,82 @@ class MetaStrategy(LocalStrategy):
         node.params = add_scaled(node.params, gradient, -cfg.beta)
         node.record_local_step()
         return value
+
+    supports_vectorized = True
+
+    def vectorized_signature(self, node: EdgeNode) -> Optional[Tuple]:
+        if not supports_batched_loss(self.model, self.loss_fn):
+            return None
+        train, test = node.split.train, node.split.test
+        x = np.asarray(train.x)
+        return (
+            x.shape,
+            x.dtype.kind,
+            np.asarray(train.y).shape,
+            np.asarray(test.x).shape,
+            np.asarray(test.y).shape,
+        )
+
+    def local_block_vectorized(
+        self,
+        nodes: Sequence[EdgeNode],
+        steps: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        cfg = self.config
+        train_x = np.stack([np.asarray(n.split.train.x) for n in nodes])
+        train_y = np.stack([np.asarray(n.split.train.y) for n in nodes])
+        test_x = np.stack([np.asarray(n.split.test.x) for n in nodes])
+        test_y = np.stack([np.asarray(n.split.test.y) for n in nodes])
+        stacked = stack_params([node.params for node in nodes])
+        names = sorted(stacked)
+        create_graph = not cfg.first_order
+        for _ in range(steps):
+            theta = require_grad(stacked)
+            tensors = [theta[n] for n in names]
+            # Inner adaptation (eq. 3): the node-axis fused loss carries
+            # differentiable closure VJPs (AD210-212 audited), so the
+            # exact second-order graph survives the stacked tape.
+            current: Params = theta
+            for _ in range(cfg.inner_steps):
+                inner_vec = batched_model_loss(
+                    self.model, current, train_x, train_y
+                )
+                inner_grads = grad(
+                    ops.sum_(inner_vec),
+                    [current[n] for n in names],
+                    create_graph=create_graph,
+                    allow_unused=True,
+                )
+                current = {
+                    name: (
+                        current[name]
+                        if g is None
+                        else current[name] - cfg.alpha * g
+                    )
+                    for name, g in zip(names, inner_grads)
+                }
+            outer_vec = batched_model_loss(self.model, current, test_x, test_y)
+            outer_grads = grad(
+                ops.sum_(outer_vec), tensors, allow_unused=True
+            )
+            stacked = {
+                name: Tensor(
+                    theta[name].data
+                    + (-cfg.beta)
+                    * (
+                        np.zeros_like(theta[name].data)
+                        if g is None
+                        else g.data
+                    )
+                )
+                for name, g in zip(names, outer_grads)
+            }
+        for node, tree in zip(nodes, unstack_params(stacked, len(nodes))):
+            # Intentional per-node loop: state fan-out and step accounting.
+            node.params = tree
+            for _ in range(steps):
+                node.record_local_step()
 
     def global_meta_loss(
         self, params: Params, nodes: Sequence[EdgeNode]
@@ -551,6 +764,13 @@ class AdmlStrategy(MetaStrategy):
 
     name = "adml"
     log_uplink = False
+    # Adversarial perturbations are regenerated per node per step; the
+    # plain stacked meta-step inherited from MetaStrategy would silently
+    # drop them, so this strategy runs serial (executor falls back).
+    supports_vectorized = False
+
+    def vectorized_signature(self, node: EdgeNode) -> Optional[Tuple]:
+        return None
 
     def _perturbed_split(self, node: EdgeNode) -> NodeSplit:
         """FGSM-corrupt the node's inner training set against its model."""
@@ -607,6 +827,12 @@ class AdversarialStrategy(MetaStrategy):
 
     name = "robust-fedml"
     log_uplink = False
+    # The DRO outer loss depends on each node's grown (ragged) D^adv; the
+    # inherited stacked meta-step would drop it, so run serial.
+    supports_vectorized = False
+
+    def vectorized_signature(self, node: EdgeNode) -> Optional[Tuple]:
+        return None
 
     def init_node_state(self, node: EdgeNode) -> None:
         # Token models: embed the node's data once so clean and adversarial

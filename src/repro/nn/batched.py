@@ -1,0 +1,178 @@
+"""Node-axis (batched) model evaluation for the vectorized executor.
+
+The serial engine runs one autodiff tape per node per local step.  This
+module stacks N nodes' parameter trees and minibatches into ``(N, ...)``
+arrays and evaluates them as **one** tape using the node-axis op variants
+of :mod:`repro.autodiff.ops` (batched ``matmul``, ``softmax_xent`` /
+``linear_softmax_xent`` on 3-D logits) — a 100-node local-training block
+becomes a handful of large ndarray ops instead of 100 small tapes.
+
+Semantics: nodes are independent, so the stacked computation is block
+diagonal — gradient slice ``i`` of the stacked loss-sum equals node
+``i``'s own gradient exactly in real arithmetic, and matches it bit-for-
+bit per slice for the ops whose reductions keep per-row accumulation
+order (see docs/AUTODIFF.md for the fp-reordering tolerance policy; the
+engine only *claims* bitwise equality for vectorized-vs-vectorized runs).
+
+``stack_params`` / ``unstack_params`` convert between a list of per-node
+parameter trees and one stacked tree; ``batched_model_loss`` is the
+node-axis twin of :func:`repro.nn.fused.fused_model_loss` returning a
+``(N,)`` per-node loss vector; ``supports_batched_loss`` is the
+capability probe strategies use before opting in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, fastpath, ops
+from .losses import cross_entropy
+from .modules import EmbeddingClassifier, LogisticRegression, MLP, Model
+from .parameters import Params
+
+__all__ = [
+    "stack_params",
+    "unstack_params",
+    "batched_one_hot",
+    "batched_model_loss",
+    "supports_batched_loss",
+]
+
+LossFn = Callable[[Tensor, np.ndarray], Tensor]
+
+
+def stack_params(params_list: Sequence[Params]) -> Params:
+    """Stack per-node parameter trees into one ``(N, ...)`` tree.
+
+    Key order is sorted for determinism; every tree must share the same
+    names and per-name shapes.
+    """
+    if not params_list:
+        raise ValueError("stack_params needs at least one parameter tree")
+    names = sorted(params_list[0])
+    for tree in params_list[1:]:
+        if sorted(tree) != names:
+            raise ValueError(
+                f"parameter trees disagree on names: {sorted(tree)} vs {names}"
+            )
+    return {
+        name: Tensor(np.stack([tree[name].data for tree in params_list]))
+        for name in names
+    }
+
+
+def unstack_params(stacked: Params, num_nodes: int) -> List[Params]:
+    """Split a stacked tree back into ``num_nodes`` independent trees.
+
+    Slices are copied so each node owns a contiguous buffer with no view
+    aliasing into the stacked array.
+    """
+    return [
+        {name: Tensor(t.data[i].copy()) for name, t in stacked.items()}
+        for i in range(num_nodes)
+    ]
+
+
+def batched_one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode ``(nodes, batch)`` integer labels to ``(N, B, C)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValueError(f"expected (nodes, batch) labels, got {labels.shape}")
+    if labels.dtype.kind not in "iu":
+        raise TypeError("labels must be integers")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for one-hot encoding")
+    n, b = labels.shape
+    out = np.zeros((n, b, num_classes), dtype=np.float64)
+    out[np.arange(n)[:, None], np.arange(b)[None, :], labels] = 1.0
+    return out
+
+
+def _batch_norm_nodes(
+    h: Tensor, gamma: Tensor, beta: Tensor, epsilon: float = 1e-5
+) -> Tensor:
+    """Node-axis twin of ``modules._batch_norm``: stats over the batch axis."""
+    n, _, f = h.shape
+    g3 = ops.reshape(gamma, (n, 1, f))
+    b3 = ops.reshape(beta, (n, 1, f))
+    mu = ops.mean(h, axis=1, keepdims=True)
+    centered = h - mu
+    var = ops.mean(centered * centered, axis=1, keepdims=True)
+    inv_std = ops.power(var + ops.as_tensor(epsilon), -0.5)
+    return centered * inv_std * g3 + b3
+
+
+def _mlp_logits_nodes(mlp: MLP, stacked: Params, h: Tensor) -> Tensor:
+    """Batched MLP forward: ``(N, B, in)`` features to ``(N, B, C)`` logits."""
+    act = MLP._ACTIVATIONS[mlp.activation]
+    n = h.shape[0]
+    num_layers = len(mlp.hidden_dims) + 1
+    for layer in range(num_layers):
+        w = stacked[f"W{layer}"]
+        b = stacked[f"b{layer}"]
+        h = ops.matmul(h, w) + ops.reshape(b, (n, 1, w.shape[2]))
+        if layer < len(mlp.hidden_dims):
+            if mlp.batch_norm:
+                h = _batch_norm_nodes(
+                    h, stacked[f"gamma{layer}"], stacked[f"beta{layer}"]
+                )
+            h = act(h)
+    return h
+
+
+def _embed_nodes(model: EmbeddingClassifier, ids: np.ndarray) -> Tensor:
+    """Frozen-table lookup for ``(N, B, seq)`` ids -> ``(N, B, seq*emb)``."""
+    ids = np.asarray(ids)
+    if ids.ndim != 3 or ids.shape[2] != model.seq_len:
+        raise ValueError(
+            f"expected ids of shape (nodes, batch, {model.seq_len}), "
+            f"got {ids.shape}"
+        )
+    if ids.dtype.kind not in "iu":
+        raise TypeError("token ids must be integers")
+    embedded = ops.getitem(model.embedding, ids)  # (N, B, seq, emb)
+    n, b = ids.shape[0], ids.shape[1]
+    return ops.reshape(embedded, (n, b, model.seq_len * model.embed_dim))
+
+
+def supports_batched_loss(model: Model, loss_fn: LossFn) -> bool:
+    """Whether :func:`batched_model_loss` can evaluate this model/loss."""
+    if loss_fn is not cross_entropy:
+        return False
+    return isinstance(model, (LogisticRegression, MLP, EmbeddingClassifier))
+
+
+def batched_model_loss(
+    model: Model, stacked: Params, x: np.ndarray, y: np.ndarray
+) -> Tensor:
+    """Per-node cross-entropy losses for stacked params/data, as one tape.
+
+    ``x`` is ``(nodes, batch, ...)`` features (or integer token ids for
+    :class:`EmbeddingClassifier`), ``y`` is ``(nodes, batch)`` integer
+    labels; returns a ``(nodes,)`` loss vector.  Sum it to backprop all
+    nodes at once — independence makes the stacked gradient block
+    diagonal, so slice ``i`` is node ``i``'s gradient.
+    """
+    y = np.asarray(y)
+    targets = Tensor(batched_one_hot(y, model.output_dim))
+    if isinstance(model, LogisticRegression):
+        xt = x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float64))
+        fastpath.note_fused_dispatch()
+        return ops.linear_softmax_xent(
+            xt, stacked["W"], stacked["b"], targets
+        )
+    if isinstance(model, EmbeddingClassifier):
+        h = _embed_nodes(model, x)
+        logits = _mlp_logits_nodes(model.head, stacked, h)
+    elif isinstance(model, MLP):
+        xt = x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float64))
+        logits = _mlp_logits_nodes(model, stacked, xt)
+    else:
+        raise TypeError(
+            f"batched_model_loss does not support {type(model).__name__}; "
+            "gate call sites on supports_batched_loss()"
+        )
+    fastpath.note_fused_dispatch()
+    return ops.softmax_xent(logits, targets)

@@ -67,6 +67,7 @@ EVENT_KINDS = frozenset(
         "resume",
         "cache_hit",
         "rng_ledger",
+        "vectorized_block",
     }
 )
 

@@ -273,6 +273,108 @@ class TestEng001EngineBypass:
         assert report.suppressed == 1
 
 
+class TestEng002VectorizedNodeLoop:
+    def test_fires_on_loop_in_local_block_vectorized(self):
+        src = """
+        class Strategy:
+            supports_vectorized = True
+
+            def local_block_vectorized(self, nodes, steps, rngs):
+                for node in nodes:
+                    step(node)
+        """
+        assert "ENG002" in ids_in(src)
+
+    def test_fires_on_zip_loop_via_self_helper(self):
+        src = """
+        class Strategy:
+            supports_vectorized = True
+
+            def local_block_vectorized(self, nodes, steps, rngs):
+                self._fan_out(nodes, result)
+
+            def _fan_out(self, nodes, result):
+                for node, tree in zip(nodes, result):
+                    node.params = tree
+        """
+        findings = ids_in(src)
+        assert findings.count("ENG002") == 1
+
+    def test_fires_when_only_the_method_marks_the_class(self):
+        # inherited supports_vectorized (e.g. ProxStrategy): defining
+        # local_block_vectorized is itself the opt-in signal
+        src = """
+        class Sub(Base):
+            def local_block_vectorized(self, nodes, steps, rngs):
+                for node in enumerate(nodes):
+                    pass
+        """
+        assert "ENG002" in ids_in(src)
+
+    def test_silent_on_explicit_opt_out(self):
+        src = """
+        class Adml(Meta):
+            supports_vectorized = False
+
+            def local_step(self, node):
+                for node in nodes:
+                    step(node)
+        """
+        assert "ENG002" not in ids_in(src)
+
+    def test_silent_on_non_strategy_class(self):
+        src = """
+        class Plain:
+            def local_step(self, node):
+                for node in nodes:
+                    step(node)
+        """
+        assert "ENG002" not in ids_in(src)
+
+    def test_silent_on_stacking_comprehensions(self):
+        src = """
+        class Strategy:
+            supports_vectorized = True
+
+            def local_block_vectorized(self, nodes, steps, rngs):
+                xs = [node.data for node in nodes]
+                stacked = stack([p for p in xs])
+        """
+        assert "ENG002" not in ids_in(src)
+
+    def test_silent_on_loops_off_the_step_path(self):
+        src = """
+        class Strategy:
+            supports_vectorized = True
+
+            def local_block_vectorized(self, nodes, steps, rngs):
+                run(nodes)
+
+            def evaluate(self, params, nodes):
+                for node in nodes:
+                    score(node)
+        """
+        assert "ENG002" not in ids_in(src)
+
+    def test_message_names_class_and_method(self):
+        src = """
+        class MyStrategy:
+            supports_vectorized = True
+
+            def local_step(self, node):
+                for other in sorted(nodes):
+                    pass
+        """
+        report = lint_source(textwrap.dedent(src))
+        messages = [
+            f.message for f in report.findings if f.rule_id == "ENG002"
+        ]
+        assert messages == [
+            "per-node loop in MyStrategy.local_step on the vectorized "
+            "step path"
+        ]
+
+
 class TestGen001MutableDefault:
     def test_fires_on_list_and_dict_literals(self):
         src = """

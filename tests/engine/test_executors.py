@@ -192,3 +192,25 @@ class TestParallelExecutorLifecycle:
         np.testing.assert_array_equal(
             to_vector(first.params), to_vector(second.params)
         )
+
+    def test_run_block_after_close_recreates_pool(self, workload):
+        """Direct regression: run_block on a closed executor transparently
+        re-creates the pool instead of failing inside ProcessPoolExecutor."""
+        from repro.nn.parameters import detach
+
+        fed, sources, model = workload
+        strategy = NoisyStrategy(model, NoisyConfig())
+        nodes = strategy.build_nodes(fed, sources)
+        init = model.init(np.random.default_rng(0))
+        for node in nodes:
+            node.params = detach(init)
+        executor = ParallelExecutor(max_workers=2)
+        executor.run_block(strategy, nodes, 1, block_index=0, base_seed=0)
+        executor.close()
+        assert executor._pool is None
+        executor.run_block(strategy, nodes, 1, block_index=1, base_seed=0)
+        executor.close()
+        assert all(node.local_steps == 2 for node in nodes)
+        assert all(
+            np.isfinite(to_vector(node.params)).all() for node in nodes
+        )
