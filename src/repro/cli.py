@@ -393,6 +393,118 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_sim(args: argparse.Namespace) -> int:
+    """Event-driven fleet run: lazy registry + buffered aggregation."""
+    from .engine.strategies import MetaStrategy, SgdStrategy
+    from .federated.fleet import (
+        FleetConfig,
+        FleetSimulator,
+        SyntheticShardFactory,
+    )
+    from .nn import LogisticRegression
+
+    shards = SyntheticShardFactory(seed=args.seed)
+    model = LogisticRegression(shards.input_dim, shards.num_classes)
+    if args.algorithm == "fedavg":
+        strategy = SgdStrategy(
+            model,
+            FedAvgConfig(
+                learning_rate=args.beta, t0=args.local_steps,
+                total_iterations=args.rounds * args.local_steps,
+                eval_every=args.eval_every, seed=args.seed,
+            ),
+        )
+    else:
+        strategy = MetaStrategy(
+            model,
+            FedMLConfig(
+                alpha=args.alpha, beta=args.beta, t0=args.local_steps,
+                total_iterations=args.rounds * args.local_steps,
+                k=shards.k, eval_every=args.eval_every, seed=args.seed,
+            ),
+        )
+    plan = None
+    if args.faults is not None:
+        plan = FaultPlan.from_spec(args.faults, seed=args.faults_seed)
+    config = FleetConfig(
+        fleet_size=args.fleet_size,
+        sampled_per_round=args.sampled,
+        rounds=args.rounds,
+        local_steps=args.local_steps,
+        buffer_size=args.buffer_size,
+        staleness_alpha=args.staleness_alpha,
+        seed=args.seed,
+        round_timeout_s=args.round_timeout,
+        eval_every=args.eval_every,
+        eval_sample=args.eval_sample,
+    )
+    telemetry = _build_telemetry(args)
+    simulator = FleetSimulator(
+        strategy,
+        config,
+        shards=shards,
+        telemetry=telemetry,
+        faults=plan,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        result = simulator.run(resume=args.resume)
+    except RunInterrupted as interrupted:
+        if telemetry is not None:
+            telemetry.close()
+        print(f"run interrupted: {interrupted}", file=sys.stderr)
+        if interrupted.checkpoint_path:
+            print(
+                "resume with: --resume --checkpoint "
+                f"{interrupted.checkpoint_path}",
+                file=sys.stderr,
+            )
+        return 3
+
+    loss_key = (
+        "global_meta_loss"
+        if result.history.series("global_meta_loss")
+        else "global_loss"
+    )
+    losses = result.history.series(loss_key)
+    payload = {
+        "algorithm": args.algorithm,
+        "fleet_size": args.fleet_size,
+        "sampled_per_round": args.sampled,
+        "rounds": result.rounds_completed,
+        "aggregations": result.server_version,
+        "updates_aggregated": result.updates_aggregated,
+        "resident_peak": result.resident_peak,
+        "resident_bound": args.sampled + config.effective_buffer,
+        "sim_clock_s": result.sim_clock_s,
+        "final_loss": losses[-1] if losses else None,
+        "uplink_bytes": result.comm_log.uplink_bytes,
+        "downlink_bytes": result.comm_log.downlink_bytes,
+    }
+    if telemetry is not None:
+        telemetry.close()
+    if args.json:
+        print(json.dumps(payload))
+        return 0
+    print(
+        f"fleet-sim {args.algorithm}: {args.fleet_size} registered, "
+        f"{args.sampled} sampled/round, {result.rounds_completed} rounds, "
+        f"{result.server_version} aggregations"
+    )
+    print(
+        f"resident-node peak: {result.resident_peak} "
+        f"(bound {payload['resident_bound']})"
+    )
+    if losses:
+        print(f"{loss_key}: {losses[0]:.4f} -> {losses[-1]:.4f}")
+    print(f"simulated clock: {result.sim_clock_s:.1f} s")
+    print(f"uplink traffic: {payload['uplink_bytes'] / 1e6:.2f} MB")
+    if telemetry is not None and args.telemetry_out != "-":
+        print(f"telemetry written to {args.telemetry_out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import lint_paths, load_baseline
 
@@ -851,6 +963,63 @@ def build_parser() -> argparse.ArgumentParser:
         "with plan caching); results are bit-identical either way",
     )
     train.set_defaults(func=_cmd_train)
+
+    fleet = sub.add_parser(
+        "fleet-sim",
+        help="event-driven fleet simulation: lazy node registry "
+        "(O(sampled) memory), LinkModel-clocked completion events, "
+        "synchronous or staleness-aware buffered aggregation",
+    )
+    fleet.add_argument("--fleet-size", type=int, default=100_000)
+    fleet.add_argument(
+        "--sampled", type=int, default=64,
+        help="nodes sampled per round (default 64)",
+    )
+    fleet.add_argument("--rounds", type=int, default=10)
+    fleet.add_argument("--local-steps", type=int, default=5)
+    fleet.add_argument(
+        "--algorithm", choices=["fedavg", "fedml"], default="fedavg"
+    )
+    fleet.add_argument("--alpha", type=float, default=0.05)
+    fleet.add_argument("--beta", type=float, default=0.05)
+    fleet.add_argument(
+        "--buffer-size", type=int, default=None, metavar="N",
+        help="flush the aggregation buffer every N delivered updates "
+        "(FedBuff-style; default: synchronous, one flush per round)",
+    )
+    fleet.add_argument(
+        "--staleness-alpha", type=float, default=0.5,
+        help="staleness discount exponent d(tau) = (1+tau)^-alpha "
+        "(0 disables discounting)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--round-timeout", type=float, default=None, metavar="SECONDS",
+        help="simulated deadline per dispatch; slower nodes time out",
+    )
+    fleet.add_argument("--eval-every", type=int, default=1)
+    fleet.add_argument(
+        "--eval-sample", type=int, default=None, metavar="N",
+        help="fixed seeded evaluation subset size (default min(32, sampled))",
+    )
+    fleet.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault plan (kinds: crash, drop, corrupt, "
+        "delay, kill — flaky targets executor workers and is rejected)",
+    )
+    fleet.add_argument("--faults-seed", type=int, default=0)
+    fleet.add_argument("--checkpoint", default=None, metavar="PATH")
+    fleet.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N rounds",
+    )
+    fleet.add_argument("--resume", action="store_true")
+    fleet.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="write telemetry JSONL to PATH ('-' for stdout); default off",
+    )
+    fleet.add_argument("--json", action="store_true", help="emit JSON")
+    fleet.set_defaults(func=_cmd_fleet_sim)
 
     report = sub.add_parser(
         "report", help="summarise a telemetry JSONL file into text tables"

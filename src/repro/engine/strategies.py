@@ -208,6 +208,16 @@ class LocalStrategy:
         """Install the executor's deterministic per-node generator."""
         self._node_rng = rng
 
+    def release_node(self, node: EdgeNode) -> None:
+        """Drop any per-node caches when ``node`` is evicted.
+
+        The fleet registry materializes nodes transiently and calls this on
+        eviction; a strategy that memoizes per-``node_id`` state (see
+        :class:`SgdStrategy`) must release it here or the cache grows with
+        every node ever sampled — exactly the O(fleet) residency the lazy
+        registry exists to avoid.  Default: nothing to release.
+        """
+
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         state["_node_rng"] = None  # rebound by the executor in the worker
@@ -290,6 +300,11 @@ class SgdStrategy(LocalStrategy):
         node.params = add_scaled(node.params, gradient, -cfg.learning_rate)
         node.record_local_step(gradient_evals=1)
         return 0.0
+
+    def release_node(self, node: EdgeNode) -> None:
+        cache = self.__dict__.get("_data_cache")
+        if cache is not None:
+            cache.pop(node.node_id, None)
 
     supports_vectorized = True
 

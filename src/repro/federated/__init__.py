@@ -7,11 +7,24 @@ from .node import EdgeNode, build_nodes
 from .platform import Platform
 from .privacy import GaussianMechanism, SecureAggregator
 from .compression import CompressedPlatform, TopKSparsifier, UniformQuantizer
+from .fleet import (
+    BufferedAggregator,
+    BufferEntry,
+    FleetConfig,
+    FleetFaults,
+    FleetRegistry,
+    FleetResult,
+    FleetSimulator,
+    ShardFactory,
+    SyntheticShardFactory,
+)
 from .sampling import (
     DropoutInjector,
     FullParticipation,
+    IdSpaceSampler,
     SeededSampler,
     UniformSampler,
+    sample_id_space,
 )
 from .simulation import (
     DeviceProfile,
@@ -36,10 +49,21 @@ __all__ = [
     "Platform",
     "GaussianMechanism",
     "SecureAggregator",
+    "BufferedAggregator",
+    "BufferEntry",
+    "FleetConfig",
+    "FleetFaults",
+    "FleetRegistry",
+    "FleetResult",
+    "FleetSimulator",
+    "ShardFactory",
+    "SyntheticShardFactory",
     "DropoutInjector",
     "FullParticipation",
+    "IdSpaceSampler",
     "SeededSampler",
     "UniformSampler",
+    "sample_id_space",
     "CompressedPlatform",
     "TopKSparsifier",
     "UniformQuantizer",

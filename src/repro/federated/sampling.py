@@ -11,6 +11,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..utils.rng import instrument_node_rng
 from .node import EdgeNode
 
 __all__ = [
@@ -18,7 +19,13 @@ __all__ = [
     "UniformSampler",
     "SeededSampler",
     "DropoutInjector",
+    "IdSpaceSampler",
+    "sample_id_space",
 ]
+
+#: ledger coordinate for sampler streams (they are round-scoped, not
+#: node-scoped — see :class:`IdSpaceSampler`)
+SAMPLER_NODE_ID = -1
 
 
 class FullParticipation:
@@ -65,6 +72,72 @@ class SeededSampler:
         count = max(1, int(round(self.fraction * len(nodes))))
         chosen = rng.choice(len(nodes), size=count, replace=False)
         return [nodes[i] for i in sorted(chosen)]
+
+
+def sample_id_space(
+    fleet_size: int, count: int, rng: np.random.Generator
+) -> List[int]:
+    """``count`` distinct ids from ``[0, fleet_size)`` in O(count) work.
+
+    The node-list samplers above call ``rng.choice(len(nodes), ...)``
+    against a materialized sequence — an O(fleet) scan (and an O(fleet)
+    permutation buffer inside ``choice`` without replacement) every round.
+    That latent cost is invisible at paper scale and fatal at 10⁶
+    registered nodes, so the fleet path samples the *id space* directly:
+    chunked rejection sampling draws ``~2·count`` candidate ids per
+    generator call and keeps the distinct ones, touching memory
+    proportional to ``count`` only.  For dense requests
+    (``count > fleet_size // 2``) rejection would thrash, so it falls back
+    to one O(fleet) permutation — the regime the eager samplers already
+    serve.
+
+    Returns ids in ascending order (a canonical order so downstream
+    iteration is container-independent).
+    """
+    if not 0 < count <= fleet_size:
+        raise ValueError("count must be in [1, fleet_size]")
+    if count > fleet_size // 2:
+        return sorted(rng.permutation(fleet_size)[:count].tolist())
+    seen: set = set()
+    chosen: List[int] = []
+    while len(chosen) < count:
+        chunk = rng.integers(
+            0, fleet_size, size=max(16, 2 * (count - len(chosen)))
+        )
+        for value in chunk.tolist():
+            if value not in seen:
+                seen.add(value)
+                chosen.append(value)
+                if len(chosen) == count:
+                    break
+    return sorted(chosen)
+
+
+class IdSpaceSampler:
+    """Per-round uniform sampling over a registry's id space.
+
+    Keyed like :class:`SeededSampler` — ``default_rng([seed, round])`` —
+    so round ``r`` selects the same ids whether or not the run was resumed,
+    and O(count) like :func:`sample_id_space`, never touching a node list.
+    The stream is registered with the RNG ledger under node id
+    :data:`SAMPLER_NODE_ID` so ``check-determinism`` (and the draw-count
+    regression test) can see exactly how many generator calls sampling
+    makes per round.
+    """
+
+    def __init__(self, count: int, seed: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = int(count)
+        self.seed = int(seed)
+
+    def select_ids(self, fleet_size: int, round_index: int) -> List[int]:
+        rng = instrument_node_rng(
+            np.random.default_rng([self.seed, int(round_index)]),
+            round_index,
+            SAMPLER_NODE_ID,
+        )
+        return sample_id_space(fleet_size, self.count, rng)
 
 
 class DropoutInjector:

@@ -63,6 +63,10 @@ _TIMELINE_KINDS = [
     ("quarantine", "quarantines"),
     ("checkpoint", "checkpoints"),
     ("resume", "resumes"),
+    # Fleet runs (dispatch/completion are too dense for a dot row; the
+    # sparse lifecycle kinds carry the story)
+    ("fleet_timeout", "fleet timeouts"),
+    ("fleet_flush", "fleet flushes"),
 ]
 
 _CSS = """

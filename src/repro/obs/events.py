@@ -10,16 +10,22 @@ JSONL file doubles as its ``events.jsonl``.
 
 Schema (version :data:`EVENT_SCHEMA_VERSION`)::
 
-    {"type": "event", "v": 1, "seq": 17, "kind": "round_end",
+    {"type": "event", "v": 2, "seq": 17, "kind": "round_end",
      "block": 3, "t": 20, "participants": 9}
 
 ``seq`` is a per-run monotone sequence number assigned at emission time, so
 the stream is totally ordered even if records are later merged or sorted.
 ``kind`` must be one of :data:`EVENT_KINDS`; every other field is
 kind-specific (catalogued in ``docs/OBSERVABILITY.md``).  Versioning
-policy: additive field changes keep ``v``; renaming/removing a field or
-changing a field's meaning bumps :data:`EVENT_SCHEMA_VERSION`, and readers
-must skip events with a newer major version than they understand.
+policy: additive field changes keep ``v``; renaming/removing a field,
+changing a field's meaning, or extending the closed :data:`EVENT_KINDS`
+set bumps :data:`EVENT_SCHEMA_VERSION` (an old reader must skip kinds it
+has no semantics for, not misfile them), and readers must skip events with
+a newer version than they understand.
+
+Version history: v1 — the original engine/fault lifecycle kinds;
+v2 — the ``fleet_*`` kinds emitted by the event-driven
+:class:`~repro.federated.fleet.FleetSimulator`.
 
 The engine and the fault subsystem treat :class:`EventLog` as their single
 event bus: the :class:`~repro.engine.round_engine.RoundEngine` emits the
@@ -47,8 +53,8 @@ __all__ = [
     "read_events",
 ]
 
-#: Bump on any non-additive change to event record fields.
-EVENT_SCHEMA_VERSION = 1
+#: Bump on any non-additive change to event record fields or kinds.
+EVENT_SCHEMA_VERSION = 2
 
 #: Closed set of event kinds (typos fail loudly at the emission site).
 EVENT_KINDS = frozenset(
@@ -68,6 +74,13 @@ EVENT_KINDS = frozenset(
         "cache_hit",
         "rng_ledger",
         "vectorized_block",
+        # v2: the event-driven fleet simulator's round lifecycle
+        "fleet_round_start",
+        "fleet_dispatch",
+        "fleet_completion",
+        "fleet_timeout",
+        "fleet_flush",
+        "fleet_round_end",
     }
 )
 

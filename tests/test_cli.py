@@ -76,3 +76,37 @@ class TestTrainCommand:
         assert len(payload["adaptation_losses"]) == 3  # steps 0..2
         assert payload["final_loss"] <= payload["initial_loss"]
         assert payload["uplink_bytes"] > 0
+
+
+class TestFleetSimCommand:
+    SMALL = [
+        "fleet-sim", "--fleet-size", "2000", "--sampled", "8",
+        "--rounds", "4", "--local-steps", "2", "--buffer-size", "4",
+    ]
+
+    def test_json_run_reports_residency_bound(self, capsys):
+        assert main(self.SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet_size"] == 2000
+        assert payload["sampled_per_round"] == 8
+        assert payload["resident_peak"] <= payload["resident_bound"]
+        assert payload["updates_aggregated"] > 0
+        assert payload["uplink_bytes"] > 0
+        assert payload["sim_clock_s"] > 0
+
+    def test_fedml_algorithm_runs(self, capsys):
+        argv = self.SMALL + ["--algorithm", "fedml", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "fedml"
+
+    def test_kill_exits_3_and_resume_completes(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "fleet.ckpt")
+        argv = self.SMALL + [
+            "--faults", "kill:block=2", "--checkpoint", ckpt, "--json",
+        ]
+        assert main(argv) == 3
+        assert "resume" in capsys.readouterr().err.lower()
+        assert main(argv + ["--resume"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 4
