@@ -1,0 +1,526 @@
+"""Kernel backends for compiled backward plans.
+
+The compiled fast path (:mod:`repro.autodiff.fastpath`) lowers a cached
+backward plan into a flat list of *bound steps*: closures that compute one
+edge's cotangent contribution with ``out=`` writes into pre-allocated arena
+slots.  This module is the seam those steps are built through: a
+:class:`PlanBackend` turns ``(op, live graph node, source slot, destination
+slot)`` into a step, and :class:`NumpyPlanBackend` is the reference
+implementation.  Keeping the builders behind one protocol means an
+accelerator backend only has to reimplement kernel construction — plan
+building, arenas, caching, and eviction are backend-agnostic.
+
+Bit-exactness contract
+----------------------
+Every kernel replicates the float-op sequence of the op's *raw VJP* in
+:mod:`repro.autodiff.ops` — same ufuncs, same order, same broadcasting —
+only redirected through ``out=`` into arena storage.  ``np.multiply(g, m,
+out=buf)`` produces the same bits as ``g * m``; ``np.sum(x, axis=a,
+out=buf)`` the same bits as ``np.sum(x, axis=a)``; ``np.copyto(dst, v)``
+with broadcasting the same bits as ``np.broadcast_to(v, shape).copy()``.
+A builder that cannot replicate the reference sequence exactly must return
+``None`` so the edge falls back to the allocating raw/closure VJP.
+
+Per-op parameters (masks, reduction shapes, indices) are read from the
+live graph's ``_Context.op_params`` at *bind* time, never from the plan
+cache, preserving the fast path's "structure only is cached" guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _Context
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = ["PlanBackend", "NumpyPlanBackend", "numpy_backend"]
+
+#: A fully bound edge step: no arguments, no return, no allocation.
+Step = Callable[[], None]
+#: Allocator handed to builders: ``scratch(shape)`` returns a persistent
+#: per-edge scratch array (arena-accounted, reused across executions).
+ScratchFn = Callable[[Tuple[int, ...]], np.ndarray]
+#: ``(run, elementwise)`` — the bound step plus a flag marking pure
+#: elementwise source→destination chains the coalescer may fuse.
+BuiltEdge = Tuple[Step, bool]
+
+
+class PlanBackend(Protocol):
+    """Builds bound kernel steps for compiled backward plans."""
+
+    name: str
+
+    def kernelized_ops(self) -> FrozenSet[str]:
+        """Op names this backend can lower to zero-allocation kernels."""
+        ...
+
+    def move_view(
+        self, ctx: _Context, node: Tensor, vjp_index: int, g: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """A view of ``g`` equal to this edge's contribution, or ``None``.
+
+        Pure *move* edges (identity passthrough, reshape, transpose) don't
+        need a step at all: the parent's slot can alias the child's.  Only
+        called for single-contribution parents.
+        """
+        ...
+
+    def build_edge(
+        self,
+        ctx: _Context,
+        node: Tensor,
+        vjp_index: int,
+        g: np.ndarray,
+        dst: np.ndarray,
+        mode: str,
+        scratch: ScratchFn,
+    ) -> Optional[BuiltEdge]:
+        """Bound step computing edge ``vjp_index`` of ``node`` from slot
+        ``g`` into slot ``dst`` (``mode`` is ``"init"`` or ``"acc"``), or
+        ``None`` when the op cannot be kernelized."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Shared step factories (separate functions so loop-built closures bind
+# their own operands, not the loop variable)
+# ----------------------------------------------------------------------
+def _chain(steps: List[Step]) -> Step:
+    if len(steps) == 1:
+        return steps[0]
+    bound = tuple(steps)
+
+    def run() -> None:
+        for step in bound:
+            step()
+
+    return run
+
+
+def _copy_step(src: np.ndarray, dst: np.ndarray) -> Step:
+    # np.copyto broadcasts src: bit-equal to np.broadcast_to(src, ...).copy()
+    def run() -> None:
+        np.copyto(dst, src)
+
+    return run
+
+
+def _add_step(src: np.ndarray, dst: np.ndarray) -> Step:
+    # np.add(dst, src, dst) is bit-equal to `dst + src` (the reference
+    # accumulation), including broadcasting of src.
+    def run() -> None:
+        np.add(dst, src, dst)
+
+    return run
+
+
+def _sum_step(
+    src: np.ndarray, axes: Tuple[int, ...], keepdims: bool, out: np.ndarray
+) -> Step:
+    def run() -> None:
+        np.sum(src, axis=axes, keepdims=keepdims, out=out)
+
+    return run
+
+
+def _unbroadcast_plan(
+    shape: Tuple[int, ...], target: Tuple[int, ...]
+) -> Optional[List[Tuple[Tuple[int, ...], bool, Tuple[int, ...]]]]:
+    """Reduction schedule replicating ``ops._unbroadcast_raw``.
+
+    Returns ``[(axes, keepdims, result_shape), ...]`` (at most two entries,
+    mirroring the reference's two ``np.sum`` calls), or ``None`` when the
+    reference would need its defensive final reshape — that path never
+    fires for genuine broadcast results, so it stays on the fallback.
+    """
+    if shape == target:
+        return []
+    reduces: List[Tuple[Tuple[int, ...], bool, Tuple[int, ...]]] = []
+    cur = tuple(shape)
+    extra = len(cur) - len(target)
+    if extra < 0:
+        return None
+    if extra > 0:
+        cur = cur[extra:]
+        reduces.append((tuple(range(extra)), False, cur))
+    axes = tuple(
+        i for i, dim in enumerate(target) if dim == 1 and cur[i] != 1
+    )
+    if axes:
+        cur = tuple(1 if i in axes else d for i, d in enumerate(cur))
+        reduces.append((axes, True, cur))
+    if cur != tuple(target):
+        return None
+    return reduces
+
+
+class NumpyPlanBackend:
+    """NumPy implementation of :class:`PlanBackend`.
+
+    Covers the elementwise/linear-algebra/shape core the training tapes
+    are built from; fused composites and set-ops (``where``, ``stack``,
+    ``max``) deliberately stay on the raw-VJP fallback, which the fast
+    path counts as hot-path allocations.
+    """
+
+    name = "numpy"
+
+    _KERNELIZED = frozenset(
+        {
+            "add", "sub", "mul", "div", "neg", "power", "exp", "log",
+            "tanh", "sigmoid", "relu", "clip", "matmul", "sum", "reshape",
+            "transpose", "broadcast_to", "getitem",
+        }
+    )
+
+    def kernelized_ops(self) -> FrozenSet[str]:
+        return self._KERNELIZED
+
+    # ------------------------------------------------------------------
+    # Move elision
+    # ------------------------------------------------------------------
+    def move_view(
+        self, ctx: _Context, node: Tensor, vjp_index: int, g: np.ndarray
+    ) -> Optional[np.ndarray]:
+        op = ctx.op_name
+        target = ctx.parents[vjp_index].data.shape
+        if op in ("add", "broadcast_to") or (op == "sub" and vjp_index == 0):
+            # Contribution is `g` itself when no unbroadcast is needed —
+            # the reference stores the very same array in its cotangent
+            # map, so aliasing is exact.
+            return g if g.shape == target else None
+        if op == "reshape":
+            view = g.reshape(target)
+            # reshape of a non-contiguous slot silently copies; a copy
+            # would freeze this execution's values into the alias.
+            return view if np.shares_memory(view, g) else None
+        if op == "transpose":
+            inverse = ctx.op_params
+            if inverse is not None and not isinstance(inverse, tuple):
+                return None
+            return np.transpose(g, inverse)
+        return None
+
+    # ------------------------------------------------------------------
+    # Edge kernels
+    # ------------------------------------------------------------------
+    def build_edge(
+        self,
+        ctx: _Context,
+        node: Tensor,
+        vjp_index: int,
+        g: np.ndarray,
+        dst: np.ndarray,
+        mode: str,
+        scratch: ScratchFn,
+    ) -> Optional[BuiltEdge]:
+        op = ctx.op_name
+        j = vjp_index
+        target = ctx.parents[j].data.shape
+        if op == "matmul":
+            return self._matmul_edge(ctx, j, g, dst, mode, scratch)
+        if op == "getitem":
+            return self._getitem_edge(ctx, g, dst, mode, scratch, target)
+        if op in ("sum", "reshape", "transpose"):
+            return self._view_edge(ctx, op, g, dst, mode, target)
+        if op in ("add", "broadcast_to") or (op == "sub" and j == 0):
+            return self._finish(None, g, g.shape, target, dst, mode, scratch)
+        core = self._elementwise_core(ctx, node, j, g, scratch)
+        if core is None:
+            return None
+        core_fn, core_shape = core
+        return self._finish(
+            core_fn, None, core_shape, target, dst, mode, scratch
+        )
+
+    # -- elementwise cores ---------------------------------------------
+    def _elementwise_core(
+        self,
+        ctx: _Context,
+        node: Tensor,
+        j: int,
+        g: np.ndarray,
+        scratch: ScratchFn,
+    ) -> Optional[Tuple[Callable[[np.ndarray], None], Tuple[int, ...]]]:
+        """``(core(out), core_shape)`` computing the pre-unbroadcast
+        contribution; each core mirrors the op's raw VJP float sequence."""
+        op = ctx.op_name
+        if op == "neg":
+
+            def core_neg(out: np.ndarray) -> None:
+                np.negative(g, out)
+
+            return core_neg, g.shape
+        if op == "sub":  # j == 1 (j == 0 handled as a pure move/unbroadcast)
+
+            def core_subb(out: np.ndarray) -> None:
+                np.negative(g, out)
+
+            return core_subb, g.shape
+        if op == "mul":
+            other = ctx.parents[1 - j].data
+            shape = np.broadcast_shapes(g.shape, other.shape)
+
+            def core_mul(out: np.ndarray) -> None:
+                np.multiply(g, other, out)
+
+            return core_mul, shape
+        if op == "div":
+            a = ctx.parents[0].data
+            b = ctx.parents[1].data
+            if j == 0:
+                shape = np.broadcast_shapes(g.shape, b.shape)
+
+                def core_diva(out: np.ndarray) -> None:
+                    np.divide(g, b, out)
+
+                return core_diva, shape
+            # j == 1: -((g * a) / (b * b)), exactly the raw VJP's sequence
+            ga_shape = np.broadcast_shapes(g.shape, a.shape)
+            bb_shape = b.shape
+            shape = np.broadcast_shapes(ga_shape, bb_shape)
+            t_ga = scratch(ga_shape)
+            t_bb = scratch(bb_shape)
+            t_q = t_ga if shape == ga_shape else scratch(shape)
+
+            def core_divb(out: np.ndarray) -> None:
+                np.multiply(g, a, t_ga)
+                np.multiply(b, b, t_bb)
+                np.divide(t_ga, t_bb, t_q)
+                np.negative(t_q, out)
+
+            return core_divb, shape
+        if op == "power":
+            exponent = ctx.op_params
+            if not isinstance(exponent, float):
+                return None
+            a = ctx.parents[0].data
+            t = scratch(a.shape)
+
+            def core_pow(out: np.ndarray) -> None:
+                # g * (e * a ** (e - 1.0)) — the raw VJP's exact sequence.
+                np.power(a, exponent - 1.0, t)
+                np.multiply(np.asarray(exponent, dtype=np.float64), t, t)
+                np.multiply(g, t, out)
+
+            return core_pow, np.broadcast_shapes(g.shape, a.shape)
+        if op == "exp":
+            y = node.data
+
+            def core_exp(out: np.ndarray) -> None:
+                np.multiply(g, y, out)
+
+            return core_exp, np.broadcast_shapes(g.shape, y.shape)
+        if op == "log":
+            a = ctx.parents[0].data
+
+            def core_log(out: np.ndarray) -> None:
+                np.divide(g, a, out)
+
+            return core_log, np.broadcast_shapes(g.shape, a.shape)
+        if op == "tanh":
+            y = node.data
+            t = scratch(y.shape)
+
+            def core_tanh(out: np.ndarray) -> None:
+                # g * (1.0 - y * y), mirroring the raw VJP step for step.
+                np.multiply(y, y, t)
+                np.subtract(np.array(1.0), t, t)
+                np.multiply(g, t, out)
+
+            return core_tanh, np.broadcast_shapes(g.shape, y.shape)
+        if op == "sigmoid":
+            y = node.data
+            t = scratch(y.shape)
+
+            def core_sig(out: np.ndarray) -> None:
+                # g * (y * (1.0 - y)), mirroring the raw VJP step for step.
+                np.subtract(np.array(1.0), y, t)
+                np.multiply(y, t, t)
+                np.multiply(g, t, out)
+
+            return core_sig, np.broadcast_shapes(g.shape, y.shape)
+        if op in ("relu", "clip"):
+            mask = ctx.op_params
+            if not isinstance(mask, np.ndarray):
+                return None
+
+            def core_mask(out: np.ndarray) -> None:
+                np.multiply(g, mask, out)
+
+            return core_mask, np.broadcast_shapes(g.shape, mask.shape)
+        return None
+
+    # -- structured edges ----------------------------------------------
+    def _matmul_edge(
+        self,
+        ctx: _Context,
+        j: int,
+        g: np.ndarray,
+        dst: np.ndarray,
+        mode: str,
+        scratch: ScratchFn,
+    ) -> Optional[BuiltEdge]:
+        a = ctx.parents[0].data
+        b = ctx.parents[1].data
+        batched = a.ndim == 3
+        if j == 0:
+            # g @ b.T (2-D) / g @ b.transpose(0, 2, 1) (batched)
+            rhs = b.transpose(0, 2, 1) if batched else np.transpose(b)
+
+            def compute(out: np.ndarray) -> None:
+                np.matmul(g, rhs, out)
+
+        else:
+            lhs = a.transpose(0, 2, 1) if batched else np.transpose(a)
+
+            def compute(out: np.ndarray) -> None:
+                np.matmul(lhs, g, out)
+
+        target = ctx.parents[j].data.shape
+        if mode == "init":
+
+            def run_init() -> None:
+                compute(dst)
+
+            return run_init, False
+        tmp = scratch(target)
+
+        def run_acc() -> None:
+            compute(tmp)
+            np.add(dst, tmp, dst)
+
+        return run_acc, False
+
+    def _getitem_edge(
+        self,
+        ctx: _Context,
+        g: np.ndarray,
+        dst: np.ndarray,
+        mode: str,
+        scratch: ScratchFn,
+        target: Tuple[int, ...],
+    ) -> Optional[BuiltEdge]:
+        index = ctx.op_params
+        if mode == "init":
+            # fill(0) + add.at is bit-equal to np.zeros + add.at.
+            def run_init() -> None:
+                dst.fill(0.0)
+                np.add.at(dst, index, g)
+
+            return run_init, False
+        tmp = scratch(target)
+
+        def run_acc() -> None:
+            tmp.fill(0.0)
+            np.add.at(tmp, index, g)
+            np.add(dst, tmp, dst)
+
+        return run_acc, False
+
+    def _view_edge(
+        self,
+        ctx: _Context,
+        op: str,
+        g: np.ndarray,
+        dst: np.ndarray,
+        mode: str,
+        target: Tuple[int, ...],
+    ) -> Optional[BuiltEdge]:
+        """sum / reshape / transpose: contribution is a view of ``g``."""
+        src: Optional[np.ndarray]
+        if op == "sum":
+            kept = ctx.op_params
+            if kept is None:
+                src = g
+            else:
+                if not isinstance(kept, tuple):
+                    return None
+                src = g.reshape(kept)
+                if not np.shares_memory(src, g):
+                    return None
+            # copyto/add broadcast src over dst: bit-equal to the raw
+            # VJP's np.broadcast_to(...).copy() contribution.
+        elif op == "reshape":
+            src = g.reshape(target)
+            if not np.shares_memory(src, g):
+                return None
+        else:  # transpose
+            inverse = ctx.op_params
+            if inverse is not None and not isinstance(inverse, tuple):
+                return None
+            src = np.transpose(g, inverse)
+        step = _copy_step(src, dst) if mode == "init" else _add_step(src, dst)
+        return step, True
+
+    # -- unbroadcast / accumulate wrapper ------------------------------
+    def _finish(
+        self,
+        core: Optional[Callable[[np.ndarray], None]],
+        src: Optional[np.ndarray],
+        core_shape: Tuple[int, ...],
+        target: Tuple[int, ...],
+        dst: np.ndarray,
+        mode: str,
+        scratch: ScratchFn,
+    ) -> Optional[BuiltEdge]:
+        """Wrap a core (or a plain source array) with the unbroadcast
+        reductions and the init/acc write into ``dst``."""
+        if core_shape == target:
+            if core is None:
+                assert src is not None
+                step = (
+                    _copy_step(src, dst)
+                    if mode == "init"
+                    else _add_step(src, dst)
+                )
+                return step, True
+            if mode == "init":
+
+                def run_direct() -> None:
+                    assert core is not None
+                    core(dst)
+
+                return run_direct, True
+            tmp = scratch(core_shape)
+
+            def run_acc() -> None:
+                assert core is not None
+                core(tmp)
+                np.add(dst, tmp, dst)
+
+            return run_acc, True
+        reduces = _unbroadcast_plan(core_shape, target)
+        if reduces is None:
+            return None
+        steps: List[Step] = []
+        if core is not None:
+            buf = scratch(core_shape)
+
+            def run_core(out: np.ndarray = buf) -> None:
+                assert core is not None
+                core(out)
+
+            steps.append(run_core)
+            cur: np.ndarray = buf
+        else:
+            assert src is not None
+            cur = src
+        for i, (axes, keepdims, shape) in enumerate(reduces):
+            last = i == len(reduces) - 1
+            out_arr = dst if (last and mode == "init") else scratch(shape)
+            steps.append(_sum_step(cur, axes, keepdims, out_arr))
+            cur = out_arr
+        if mode != "init":
+            steps.append(_add_step(cur, dst))
+        return _chain(steps), False
+
+
+#: Shared default backend instance.
+numpy_backend = NumpyPlanBackend()

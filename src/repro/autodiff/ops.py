@@ -98,6 +98,7 @@ def _make(
     vjps: Sequence[Optional[Vjp]],
     op_name: str,
     raw_vjps: Optional[Sequence[Optional[RawVjp]]] = None,
+    op_params: object = None,
 ) -> Tensor:
     """Build an op output, pruning the graph when no parent requires grad."""
     requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
@@ -115,7 +116,10 @@ def _make(
     return Tensor(
         data,
         requires_grad=True,
-        _ctx=_Context(parents, pruned, op_name, raw_vjps=pruned_raw),
+        _ctx=_Context(
+            parents, pruned, op_name, raw_vjps=pruned_raw,
+            op_params=op_params,
+        ),
     )
 
 
@@ -276,6 +280,7 @@ def power(a: Tensor, exponent: float) -> Tensor:
         (lambda g: mul(g, mul(as_tensor(exponent), power(a, exponent - 1.0))),),
         "power",
         raw_vjps=raws,
+        op_params=exponent,
     )
 
 
@@ -352,7 +357,7 @@ def relu(a: Tensor) -> Tensor:
     raws = (_raw,)
     return _make(
         a.data * mask.data, (a,), (lambda g: mul(g, mask),), "relu",
-        raw_vjps=raws,
+        raw_vjps=raws, op_params=mask_data,
     )
 
 
@@ -372,7 +377,7 @@ def clip(a: Tensor, low: float, high: float) -> Tensor:
     raws = (_raw,)
     return _make(
         np.clip(a.data, low, high), (a,), (lambda g: mul(g, mask),), "clip",
-        raw_vjps=raws,
+        raw_vjps=raws, op_params=mask_data,
     )
 
 
@@ -435,26 +440,29 @@ def sum_(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
     norm_axis = _normalize_axis(axis, a.ndim)
     out_data = np.sum(a.data, axis=norm_axis, keepdims=keepdims)
 
+    kept_shape: Optional[Tuple[int, ...]] = None
+    if norm_axis is not None and not keepdims:
+        kept = list(a.shape)
+        for ax in norm_axis:
+            kept[ax] = 1
+        kept_shape = tuple(kept)
+
     def vjp(g: Tensor) -> Tensor:
-        if norm_axis is not None and not keepdims:
-            kept = list(a.shape)
-            for ax in norm_axis:
-                kept[ax] = 1
-            g = reshape(g, tuple(kept))
+        if kept_shape is not None:
+            g = reshape(g, kept_shape)
         return broadcast_to(g, a.shape)
 
     def _raw(g: np.ndarray) -> np.ndarray:
-        if norm_axis is not None and not keepdims:
-            kept = list(a.shape)
-            for ax in norm_axis:
-                kept[ax] = 1
-            g = g.reshape(tuple(kept))
+        if kept_shape is not None:
+            g = g.reshape(kept_shape)
         # .copy() mirrors broadcast_to's forward: same bits, and the
         # contiguous buffer keeps downstream matmuls off the slow path.
         return np.broadcast_to(g, a.shape).copy()
 
     raws = (_raw,)
-    return _make(out_data, (a,), (vjp,), "sum", raw_vjps=raws)
+    return _make(
+        out_data, (a,), (vjp,), "sum", raw_vjps=raws, op_params=kept_shape
+    )
 
 
 def mean(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
@@ -495,6 +503,7 @@ def transpose(a: Tensor, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
         (lambda g: transpose(g, inverse),),
         "transpose",
         raw_vjps=raws,
+        op_params=inverse,
     )
 
 
@@ -527,7 +536,7 @@ def getitem(a: Tensor, index: object) -> Tensor:
     raws = (_raw,)
     return _make(
         a.data[index], (a,), (lambda g: _scatter(g, index, a.shape),),
-        "getitem", raw_vjps=raws,
+        "getitem", raw_vjps=raws, op_params=index,
     )
 
 

@@ -375,6 +375,29 @@ class _VersionStore:
     def snapshot(self) -> Dict[int, Params]:
         return dict(self._trees)
 
+    def refcounts(self) -> Dict[int, int]:
+        """Live refcount per retained version (for checkpointing).
+
+        These are the counts that must survive a save/resume round-trip:
+        one per in-flight dispatch *plus* one per buffered update anchored
+        to the version.  Recomputing them from the buffer alone (as the
+        checkpoint writer once did) undercounts versions held only by
+        pending events, orphaning them on resume.
+        """
+        return dict(self._refs)
+
+    def check_invariant(self) -> None:
+        """Every retained version has a tree, and vice versa."""
+        if self._refs.keys() != self._trees.keys():
+            raise AssertionError(
+                f"version store invariant violated: refs for "
+                f"{sorted(self._refs)} vs trees for {sorted(self._trees)}"
+            )
+        if any(r <= 0 for r in self._refs.values()):
+            raise AssertionError(
+                f"version store holds non-positive refcounts: {self._refs}"
+            )
+
 
 # ----------------------------------------------------------------------
 # Pure-function fault interpretation over the id space
@@ -960,9 +983,11 @@ class FleetSimulator:
             for name, tensor in entry.params.items():
                 tree[f"{_BUF_PREFIX}{i}::{name}"] = tensor
         versions = self._versions.snapshot()
-        refs = {v: 0 for v in versions}
-        for entry in self.buffer.entries:
-            refs[entry.base_version] += 1
+        # Serialize the store's live refcounts (buffer anchors + pending
+        # in-flight events).  Deriving them from the buffer alone loses the
+        # pending retains, so a resumed run would drop versions its pending
+        # events still need and crash on their release.
+        refs = self._versions.refcounts()
         for version, params in versions.items():
             for name, tensor in params.items():
                 tree[f"{_VER_PREFIX}{version}::{name}"] = tensor
@@ -1047,8 +1072,16 @@ class FleetSimulator:
         self._versions = _VersionStore()
         for version_text, refs in state.get("version_refs", {}).items():
             version = int(version_text)
-            for _ in range(int(refs)):
+            count = int(refs)
+            if count <= 0 or version not in version_trees:
+                raise ValueError(
+                    f"corrupt fleet checkpoint: version {version} has "
+                    f"refcount {count} and "
+                    f"{'a' if version in version_trees else 'no'} saved tree"
+                )
+            for _ in range(count):
                 self._versions.retain(version, version_trees[version])
+        self._versions.check_invariant()
         self._pending = [
             (float(t), int(rank), int(node), dict(info))
             for t, rank, node, info in state.get("pending_events", [])

@@ -96,7 +96,17 @@ class Platform:
 
         trees = [deserialize_params(blob) for blob in blobs]
         weights = np.array([node.weight for node in nodes], dtype=np.float64)
-        weights = weights / weights.sum()
+        total = weights.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            # Renormalizing by a zero (or non-finite) sum would turn every
+            # weight into NaN and silently poison global_params past the
+            # quarantine policy — fail loudly instead.
+            raise ValueError(
+                "cannot aggregate: participating node weights sum to "
+                f"{total!r}; every aggregation weight must be non-negative "
+                "with a positive finite total"
+            )
+        weights = weights / total
         aggregator = instrument_aggregator(self.aggregator, tel)
         self.global_params = aggregator(trees, weights.tolist())
         self._broadcast(nodes, round_index)

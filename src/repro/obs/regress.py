@@ -64,7 +64,8 @@ class Regression:
 def gated_metrics(result: dict) -> Dict[str, dict]:
     """Derive the gate spec for one benchmark result (used when seeding).
 
-    Flags gate exactly, ``speedup`` gates as a ratio, ``*_per_sec``
+    Flags gate exactly, ``speedup`` (and any ``*_speedup`` ratio, e.g. the
+    compiled-backward ``replay_speedup``) gates as a ratio, ``*_per_sec``
     throughput gates with the wide band.  Everything else (configuration
     echoes like ``nodes``/``cpus``, nested stats) is informational and
     stays ungated.
@@ -73,7 +74,9 @@ def gated_metrics(result: dict) -> Dict[str, dict]:
     for key, value in result.items():
         if isinstance(value, bool):
             spec[key] = {"value": value, "direction": "exact"}
-        elif key == "speedup" and isinstance(value, (int, float)):
+        elif (
+            key == "speedup" or key.endswith("_speedup")
+        ) and isinstance(value, (int, float)):
             spec[key] = {
                 "value": value,
                 "direction": "higher",

@@ -152,3 +152,73 @@ def test_staleness_zero_buffered_reduces_to_synchronous(seed, sampled):
     assert trees_equal(sync.params, fresh.params)
     assert trees_equal(sync.params, extreme.params)
     assert sync.history.records == fresh.history.records
+
+
+# ----------------------------------------------------------------------
+# 4. Version-store refcount invariant (ISSUE 10 satellite)
+# ----------------------------------------------------------------------
+# The checkpoint writer once recomputed refcounts from the buffer alone,
+# dropping the retains held by pending events — resume then orphaned
+# those versions.  The property: *any* interleaving of retain / release /
+# checkpoint+resume leaves the store with exactly one refcount per tree
+# (len(_refs) == len(_trees)), every count positive, and a resume that
+# reproduces the counts bit for bit.
+
+
+def _version_tree(version):
+    from repro.autodiff import Tensor
+
+    return {"w": Tensor(np.full(4, float(version)))}
+
+
+def _roundtrip(store):
+    """Serialize the store the way _save does and rebuild as _restore does."""
+    from repro.federated.fleet import _VersionStore
+
+    refs = store.refcounts()
+    trees = store.snapshot()
+    rebuilt = _VersionStore()
+    for version, count in sorted(refs.items()):
+        assert count > 0 and version in trees
+        for _ in range(count):
+            rebuilt.retain(version, trees[version])
+    rebuilt.check_invariant()
+    assert rebuilt.refcounts() == refs
+    for version, tree in rebuilt.snapshot().items():
+        assert trees_equal(tree, trees[version])
+    return rebuilt
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["retain", "release", "roundtrip"]),
+            st.integers(min_value=0, max_value=7),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_version_store_refcount_invariant(script):
+    from repro.federated.fleet import _VersionStore
+
+    store = _VersionStore()
+    expected = {}  # version -> refcount, the oracle
+    for op, pick in script:
+        if op == "retain":
+            version = pick
+            store.retain(version, _version_tree(version))
+            expected[version] = expected.get(version, 0) + 1
+        elif op == "release":
+            if not expected:
+                continue
+            version = sorted(expected)[pick % len(expected)]
+            store.release(version)
+            expected[version] -= 1
+            if expected[version] == 0:
+                del expected[version]
+        else:
+            store = _roundtrip(store)
+        store.check_invariant()
+        assert store.refcounts() == expected
+        assert len(store.refcounts()) == len(store.snapshot())

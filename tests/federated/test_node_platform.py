@@ -154,6 +154,29 @@ class TestPlatform:
         with pytest.raises(ValueError):
             Platform().aggregate([])
 
+    def test_aggregate_zero_weight_sum_raises(self):
+        """Regression: a participating subset whose weights sum to zero
+        used to renormalize to NaN and silently poison global_params."""
+        platform = Platform()
+        nodes = self._nodes()
+        platform.initialize(make_tree(1.0), nodes)
+        for node in nodes:
+            node.weight = 0.0
+        with pytest.raises(ValueError, match="positive finite total"):
+            platform.aggregate(nodes)
+        # The failed round must not have replaced the global model.
+        np.testing.assert_allclose(
+            platform.global_params["w"].data, np.full(3, 1.0)
+        )
+
+    def test_aggregate_non_finite_weight_sum_raises(self):
+        platform = Platform()
+        nodes = self._nodes()
+        platform.initialize(make_tree(1.0), nodes)
+        nodes[0].weight = float("nan")
+        with pytest.raises(ValueError, match="positive finite total"):
+            platform.aggregate(nodes)
+
     def test_transfer_to_target_roundtrips(self):
         platform = Platform()
         nodes = self._nodes()

@@ -41,6 +41,21 @@ class TestGatedMetrics:
         assert "nodes" not in spec
         assert "serial_seconds" not in spec
 
+    def test_suffixed_speedup_ratios_gate_like_speedup(self):
+        spec = gated_metrics(
+            {
+                "replay_speedup": 3.0,
+                "steady_state_zero_alloc": True,
+                "steady_state_allocations": 0,  # int: informational
+            }
+        )
+        from repro.obs.regress import RATIO_TOLERANCE
+
+        assert spec["replay_speedup"]["direction"] == "higher"
+        assert spec["replay_speedup"]["tolerance"] == RATIO_TOLERANCE
+        assert spec["steady_state_zero_alloc"]["direction"] == "exact"
+        assert "steady_state_allocations" not in spec
+
 
 class TestCheckResult:
     def _entry(self):
